@@ -1,0 +1,132 @@
+// Command esebench reproduces the paper's evaluation: Table 1
+// (scalability), Table 2 (SW-only accuracy vs ISS and board), Table 3
+// (accuracy of the hardware-accelerated designs), and the three ablations
+// documented in DESIGN.md.
+//
+// Usage:
+//
+//	esebench [-frames N] [-table 1|2|3] [-ablation sensitivity|granularity|pumdetail] [-all]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ese/internal/apps"
+	"ese/internal/experiments"
+	"ese/internal/pum"
+)
+
+func main() {
+	frames := flag.Int("frames", 2, "MP3 frames per run")
+	table := flag.Int("table", 0, "reproduce one table (1, 2 or 3)")
+	ablation := flag.String("ablation", "", "run one ablation: sensitivity, granularity, pumdetail, rtos, overlap")
+	all := flag.Bool("all", false, "run every table and ablation")
+	jsonOut := flag.Bool("json", false, "emit results as JSON lines instead of tables")
+	flag.Parse()
+
+	if err := run(*frames, *table, *ablation, *all, *jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "esebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(frames, table int, ablation string, all, jsonOut bool) error {
+	eval := apps.MP3Config{Frames: frames, Seed: apps.DefaultMP3.Seed}
+	if !jsonOut {
+		fmt.Printf("workload: MP3-like decode, %d frames (eval seed 0x%X, train seed 0x%X)\n",
+			frames, eval.Seed, apps.TrainMP3.Seed)
+		fmt.Println("calibrating statistical PUM models on the training workload...")
+	}
+	s, err := experiments.NewSetup(eval, apps.TrainMP3)
+	if err != nil {
+		return err
+	}
+	emit := func(v any) {
+		if jsonOut {
+			data, err := json.Marshal(v)
+			if err != nil {
+				fmt.Println(`{"error":"marshal failed"}`)
+				return
+			}
+			fmt.Println(string(data))
+			return
+		}
+		fmt.Println(v)
+	}
+	_ = emit
+	if !jsonOut {
+		fmt.Printf("calibrated branch misprediction ratio: %.3f\n\n", s.MB.Branch.MissRate)
+	}
+
+	if all || table == 0 && ablation == "" {
+		all = true
+	}
+	if all || table == 1 {
+		t1, err := experiments.RunTable1(s)
+		if err != nil {
+			return err
+		}
+		emit(t1)
+	}
+	if all || table == 2 {
+		t2, err := experiments.RunTable2(s)
+		if err != nil {
+			return err
+		}
+		emit(t2)
+	}
+	if all || table == 3 {
+		t3, err := experiments.RunTable3(s)
+		if err != nil {
+			return err
+		}
+		emit(t3)
+	}
+	if all || ablation == "sensitivity" {
+		sens, err := experiments.RunSensitivity(s, pum.CacheCfg{ISize: 2048, DSize: 2048},
+			[]float64{-0.5, -0.25, 0, 0.25, 0.5})
+		if err != nil {
+			return err
+		}
+		emit(sens)
+	}
+	if all || ablation == "granularity" {
+		g, err := experiments.RunGranularity(s, "SW+4")
+		if err != nil {
+			return err
+		}
+		emit(g)
+	}
+	if all || ablation == "pumdetail" {
+		p, err := experiments.RunPUMDetail(s, pum.CacheCfg{ISize: 2048, DSize: 2048})
+		if err != nil {
+			return err
+		}
+		emit(p)
+	}
+	if all || ablation == "rtos" {
+		study, err := experiments.RunRTOSStudy(s)
+		if err != nil {
+			return err
+		}
+		emit(study)
+	}
+	if all || ablation == "overlap" {
+		study, err := experiments.RunOverlapStudy(s)
+		if err != nil {
+			return err
+		}
+		emit(study)
+	}
+	if all || ablation == "blocksize" {
+		study, err := experiments.RunBlockSizeStudy(s)
+		if err != nil {
+			return err
+		}
+		emit(study)
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+// Command eseest is the estimation front end: it compiles a C-subset
+// source file, annotates every basic block against a processing unit model
+// (Algorithms 1 and 2 of the paper), and prints the annotation summary or
+// the generated timed source.
+//
+// Usage:
+//
+//	eseest [flags] app.c
+//
+//	-pum name|file.json   PE model: "microblaze", "customhw", "dualissue",
+//	                      or a JSON PUM description (default microblaze)
+//	-icache/-dcache N     cache sizes in bytes for the statistical model
+//	-emit-c               print the delay-annotated C-like source
+//	-emit-go              print the generated timed Go process
+//	-blocks               print the per-block estimate table
+//	-dump                 print the CDFG IR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ese"
+	"ese/internal/cdfg"
+	"ese/internal/iss"
+)
+
+func main() {
+	pumFlag := flag.String("pum", "microblaze", "PE model name or JSON file")
+	icache := flag.Int("icache", 8192, "i-cache size in bytes (0 = uncached)")
+	dcache := flag.Int("dcache", 4096, "d-cache size in bytes (0 = uncached)")
+	emitC := flag.Bool("emit-c", false, "emit delay-annotated C-like source")
+	emitGo := flag.Bool("emit-go", false, "emit generated timed Go source")
+	blocks := flag.Bool("blocks", false, "print per-block estimates")
+	dump := flag.Bool("dump", false, "print the CDFG IR")
+	dotCFG := flag.String("dot-cfg", "", "print the dot CFG of the named function")
+	dotDFG := flag.String("dot-dfg", "", "print the dot DFGs of the named function's blocks")
+	disasm := flag.Bool("disasm", false, "print the generated virtual-ISA assembly")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: eseest [flags] app.c")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *pumFlag, *icache, *dcache, *emitC, *emitGo, *blocks, *dump, *dotCFG, *dotDFG, *disasm); err != nil {
+		fmt.Fprintln(os.Stderr, "eseest:", err)
+		os.Exit(1)
+	}
+}
+
+func loadPUM(name string) (*ese.PUM, error) {
+	switch name {
+	case "microblaze":
+		return ese.MicroBlazePUM(), nil
+	case "customhw":
+		return ese.CustomHWPUM("customhw", 100_000_000), nil
+	case "dualissue":
+		return ese.DualIssuePUM(), nil
+	}
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	return ese.LoadPUM(data)
+}
+
+func run(file, pumName string, icache, dcache int, emitC, emitGo, blocks, dump bool, dotCFG, dotDFG string, disasm bool) error {
+	src, err := os.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	prog, err := ese.CompileC(file, string(src))
+	if err != nil {
+		return err
+	}
+	if dump {
+		fmt.Print(prog.Dump())
+		return nil
+	}
+	if dotCFG != "" {
+		fn := prog.Func(dotCFG)
+		if fn == nil {
+			return fmt.Errorf("no function %q", dotCFG)
+		}
+		fmt.Print(fn.DotCFG())
+		return nil
+	}
+	if dotDFG != "" {
+		fn := prog.Func(dotDFG)
+		if fn == nil {
+			return fmt.Errorf("no function %q", dotDFG)
+		}
+		for _, b := range fn.Blocks {
+			fmt.Print(cdfg.DotDFG(b))
+		}
+		return nil
+	}
+	if disasm {
+		isa, err := iss.Generate(prog)
+		if err != nil {
+			return err
+		}
+		fmt.Print(iss.Disassemble(isa))
+		return nil
+	}
+	model, err := loadPUM(pumName)
+	if err != nil {
+		return err
+	}
+	if model.Mem.HasICache || model.Mem.HasDCache || icache == 0 {
+		model, err = model.WithCache(ese.CacheCfg{ISize: icache, DSize: dcache})
+		if err != nil {
+			return err
+		}
+	}
+	a := ese.Annotate(prog, model)
+	switch {
+	case emitC:
+		fmt.Print(a.EmitTimedC())
+	case emitGo:
+		fmt.Print(a.EmitTimedGo("timed"))
+	case blocks:
+		for _, fn := range prog.Funcs {
+			fmt.Printf("func %s\n", fn.Name)
+			for _, b := range fn.Blocks {
+				e := a.Est[b]
+				fmt.Printf("  bb%-3d ops=%-4d operands=%-4d sched=%-5d br=%-6.2f imem=%-8.2f dmem=%-8.2f total=%d\n",
+					b.ID, e.Ops, e.Operands, e.Sched, e.BranchPen, e.IDelay, e.DDelay, int64(e.Total))
+			}
+		}
+	default:
+		fmt.Print(a.Summary())
+	}
+	return nil
+}

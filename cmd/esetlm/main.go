@@ -1,0 +1,149 @@
+// Command esetlm generates and simulates transaction-level models of the
+// built-in MP3 decoder designs (the paper's §5 evaluation platforms).
+//
+// Usage:
+//
+//	esetlm -design SW+2 [flags]
+//
+//	-design SW|SW+1|SW+2|SW+4   mapping (default SW)
+//	-frames N                   MP3 frames to decode (default 2)
+//	-icache/-dcache N           cache sizes in bytes
+//	-engine functional|timed|board   simulation engine (default timed)
+//	-calibrate                  calibrate the PUM on the training workload
+//	-graph                      print the process/channel structure (Fig. 6)
+//	-gen                        emit the standalone Go TLM source and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ese"
+	"ese/internal/core"
+	"ese/internal/tlm"
+	"ese/internal/trace"
+)
+
+func main() {
+	design := flag.String("design", "SW", "design name (SW, SW+1, SW+2, SW+4)")
+	frames := flag.Int("frames", 2, "MP3 frames to decode")
+	icache := flag.Int("icache", 8192, "i-cache bytes (0 = uncached)")
+	dcache := flag.Int("dcache", 4096, "d-cache bytes (0 = uncached)")
+	engine := flag.String("engine", "timed", "functional | timed | board")
+	calibrate := flag.Bool("calibrate", true, "calibrate the PUM on the training workload")
+	graph := flag.Bool("graph", false, "print the process graph and exit")
+	gen := flag.Bool("gen", false, "emit the standalone TLM source and exit")
+	vcd := flag.String("vcd", "", "write a VCD activity waveform to this file (timed engine)")
+	flag.Parse()
+
+	if err := run(*design, *frames, *icache, *dcache, *engine, *calibrate, *graph, *gen, *vcd); err != nil {
+		fmt.Fprintln(os.Stderr, "esetlm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(design string, frames, icache, dcache int, engine string, calibrate, graph, gen bool, vcdPath string) error {
+	cfg := ese.MP3Config{Frames: frames, Seed: 0xC0FFEE}
+	mb := ese.MicroBlazePUM()
+	if calibrate {
+		trainSrc, err := ese.MP3Source("SW", ese.MP3Config{Frames: 1, Seed: 0x5EED})
+		if err != nil {
+			return err
+		}
+		trainProg, err := ese.CompileC("train.c", trainSrc)
+		if err != nil {
+			return err
+		}
+		mb, err = ese.Calibrate(mb, trainProg, "main")
+		if err != nil {
+			return err
+		}
+	}
+	d, err := ese.MP3Design(design, cfg, mb, ese.CacheCfg{ISize: icache, DSize: dcache})
+	if err != nil {
+		return err
+	}
+	if graph {
+		fmt.Print(d.Graph())
+		return nil
+	}
+	if gen {
+		src, err := ese.GenerateTLM(d)
+		if err != nil {
+			return err
+		}
+		fmt.Print(src)
+		return nil
+	}
+	switch engine {
+	case "functional":
+		res, err := ese.RunFunctionalTLM(d)
+		if err != nil {
+			return err
+		}
+		printTLM(res, d)
+	case "timed":
+		var res *ese.TLMResult
+		var err error
+		if vcdPath != "" {
+			v := trace.New()
+			res, err = tlm.Run(d, tlm.Options{
+				Timed:    true,
+				WaitMode: tlm.WaitAtTransactions,
+				Detail:   core.FullDetail,
+				Trace:    v,
+			})
+			if err == nil {
+				if werr := os.WriteFile(vcdPath, []byte(v.Render()), 0o644); werr != nil {
+					return werr
+				}
+				fmt.Printf("wrote waveform to %s\n", vcdPath)
+			}
+		} else {
+			res, err = ese.RunTimedTLM(d)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("annotation time: %v\n", res.AnnoTime.Round(time.Microsecond))
+		printTLM(res, d)
+	case "board":
+		res, err := ese.RunBoard(d)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("design %s on cycle-accurate board: %v wall\n", d.Name, res.Wall.Round(time.Millisecond))
+		fmt.Printf("total time: %d bus cycles (%.3f ms simulated)\n",
+			res.EndCycles(d.Bus.ClockHz), float64(res.EndPs)/1e9)
+		for _, pe := range d.PEs {
+			r := res.PEs[pe.Name]
+			fmt.Printf("  PE %-10s %12d cycles  %10d instrs", r.Name, r.Cycles, r.Steps)
+			if pe.Kind == ese.Processor {
+				fmt.Printf("  ihit=%.4f dhit=%.4f brmiss=%.3f",
+					r.Mem.IHitRate, r.Mem.DHitRate, r.BranchMiss)
+			}
+			fmt.Println()
+		}
+	default:
+		return fmt.Errorf("unknown engine %q", engine)
+	}
+	return nil
+}
+
+func printTLM(res *ese.TLMResult, d *ese.Design) {
+	fmt.Printf("design %s: %v wall, %d IR instructions\n", res.Design, res.Wall.Round(time.Millisecond), res.Steps)
+	if res.EndPs > 0 {
+		fmt.Printf("total time: %d bus cycles (%.3f ms simulated)\n",
+			res.EndCycles(d.Bus.ClockHz), float64(res.EndPs)/1e9)
+	}
+	for _, pe := range d.PEs {
+		fmt.Printf("  PE %-10s %12d cycles\n", pe.Name, res.CyclesByPE[pe.Name])
+	}
+	outs := res.OutByPE["mb"]
+	if n := len(outs); n >= 2 {
+		fmt.Printf("decode checksums: L=%d R=%d (%d samples emitted)\n",
+			outs[n-2], outs[n-1], n-2)
+	}
+}

@@ -1,0 +1,241 @@
+// Package ese is the public API of the ESE-style cycle-approximate
+// performance estimation toolset, a from-scratch reproduction of
+// Hwang, Abdi, Gajski, "Cycle-approximate Retargetable Performance
+// Estimation at the Transaction Level" (DATE 2008).
+//
+// The workflow mirrors the paper's flow (Figs. 1–3):
+//
+//	prog, _ := ese.CompileC("app.c", src)          // C front end -> CDFG
+//	mb := ese.MicroBlazePUM()                      // or ese.LoadPUM(json)
+//	mb, _ = ese.Calibrate(mb, trainProg, "main")   // statistical models
+//	cfg, _ := mb.WithCache(ese.CacheCfg{ISize: 8192, DSize: 4096})
+//	a := ese.Annotate(prog, cfg)                   // Algorithms 1 + 2
+//	design := &ese.Design{...}                     // map processes to PEs
+//	timed, _ := ese.RunTimedTLM(design)            // fast timed simulation
+//	board, _ := ese.RunBoard(design)               // cycle-accurate reference
+//	src, _ := ese.GenerateTLM(design)              // standalone Go TLM
+//
+// All heavy lifting lives in internal packages; this package re-exports the
+// stable surface a downstream user needs.
+package ese
+
+import (
+	"ese/internal/annotate"
+	"ese/internal/apps"
+	"ese/internal/cdfg"
+	"ese/internal/cfront"
+	"ese/internal/core"
+	"ese/internal/interp"
+	"ese/internal/iss"
+	"ese/internal/platform"
+	"ese/internal/pum"
+	"ese/internal/rtl"
+	"ese/internal/rtos"
+	"ese/internal/tlm"
+)
+
+// Core IR and model types.
+type (
+	// Program is a lowered application (CDFG form).
+	Program = cdfg.Program
+	// Block is one basic block of the CDFG.
+	Block = cdfg.Block
+	// PUM is a processing unit model (§4.1 of the paper).
+	PUM = pum.PUM
+	// CacheCfg selects an I/D cache size configuration.
+	CacheCfg = pum.CacheCfg
+	// Estimate is a decomposed basic-block delay estimate.
+	Estimate = core.Estimate
+	// Detail selects which PUM sub-models estimation applies.
+	Detail = core.Detail
+	// Annotated is a timing-annotated program for one PE model.
+	Annotated = annotate.Annotated
+	// Design is a mapped multiprocessor platform.
+	Design = platform.Design
+	// PE is one processing element of a design.
+	PE = platform.PE
+	// TLMResult is the outcome of a TLM simulation.
+	TLMResult = tlm.Result
+	// BoardResult is the outcome of a cycle-accurate board simulation.
+	BoardResult = rtl.BoardResult
+)
+
+// PE kinds.
+const (
+	Processor = platform.Processor
+	HWUnit    = platform.HWUnit
+)
+
+// Timed RTOS model (the paper's future-work extension): several tasks
+// multiplexed onto one processor PE.
+type (
+	// SWTask is one RTOS-managed process on a processor PE.
+	SWTask = platform.SWTask
+	// RTOSConfig selects the scheduling policy, time slice and context
+	// switch overhead of a multi-task PE.
+	RTOSConfig = rtos.Config
+)
+
+// RTOS scheduling policies.
+const (
+	RTOSCooperative = rtos.Cooperative
+	RTOSRoundRobin  = rtos.RoundRobin
+	RTOSPriority    = rtos.PriorityPreemptive
+)
+
+// FullDetail applies every PUM sub-model, as the paper's Algorithm 2 does.
+var FullDetail = core.FullDetail
+
+// StandardCacheConfigs are the five I/D cache configurations of Tables 2–3.
+var StandardCacheConfigs = pum.StandardCacheConfigs
+
+// Simplify runs compiler-style CFG cleanup (jump threading, block
+// merging) on a lowered program, growing basic blocks — see ablation A6
+// for its effect on estimation accuracy.
+func Simplify(prog *Program) { cdfg.SimplifyProgram(prog) }
+
+// CompileC parses, checks and lowers a C-subset source into CDFG form.
+func CompileC(name, src string) (*Program, error) {
+	f, err := cfront.Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	u, err := cfront.Check(f)
+	if err != nil {
+		return nil, err
+	}
+	return cdfg.Lower(u)
+}
+
+// MicroBlazePUM returns the built-in MicroBlaze-like processor model.
+func MicroBlazePUM() *PUM { return pum.MicroBlaze() }
+
+// CustomHWPUM returns a built-in custom-hardware datapath model.
+func CustomHWPUM(name string, clockHz int64) *PUM { return pum.CustomHW(name, clockHz) }
+
+// DualIssuePUM returns the built-in superscalar example model.
+func DualIssuePUM() *PUM { return pum.DualIssue() }
+
+// LoadPUM parses a JSON PUM description (the retargeting interface).
+func LoadPUM(data []byte) (*PUM, error) { return pum.FromJSON(data) }
+
+// Annotate estimates every basic block of the program against the PE model
+// with full Algorithm 2 detail.
+func Annotate(prog *Program, p *PUM) *Annotated {
+	return annotate.Annotate(prog, p, core.FullDetail)
+}
+
+// AnnotateWithDetail estimates with a chosen subset of PUM sub-models.
+func AnnotateWithDetail(prog *Program, p *PUM, d Detail) *Annotated {
+	return annotate.Annotate(prog, p, d)
+}
+
+// EstimateBlock runs Algorithms 1 and 2 on a single basic block.
+func EstimateBlock(b *Block, p *PUM) Estimate {
+	return core.BlockDelay(b, p, core.FullDetail)
+}
+
+// Calibrate profiles a training process on the cycle-accurate board CPU for
+// the standard cache configurations and returns a PUM with measured
+// statistical memory and branch models.
+func Calibrate(base *PUM, trainProg *Program, entry string) (*PUM, error) {
+	return rtl.Calibrate(base, trainProg, entry, pum.StandardCacheConfigs, 0)
+}
+
+// DefaultBus returns the standard shared-bus parameters.
+func DefaultBus() platform.Bus { return platform.DefaultBus() }
+
+// RunFunctionalTLM executes the untimed TLM of a design.
+func RunFunctionalTLM(d *Design) (*TLMResult, error) { return tlm.RunFunctional(d, 0) }
+
+// RunTimedTLM generates and executes the timed TLM of a design (per-block
+// delays applied at transaction boundaries).
+func RunTimedTLM(d *Design) (*TLMResult, error) { return tlm.RunTimed(d, 0) }
+
+// RunBoard runs the cycle-accurate full-system reference simulation.
+func RunBoard(d *Design) (*BoardResult, error) { return rtl.RunBoard(d, 0) }
+
+// GenerateTLM emits the standalone Go source of the design's timed TLM.
+func GenerateTLM(d *Design) (string, error) { return tlm.GenerateSource(d, core.FullDetail) }
+
+// RunInterp executes a single process functionally (reference semantics)
+// and returns its out() stream.
+func RunInterp(prog *Program, entry string) ([]int32, error) {
+	m := interp.New(prog)
+	if err := m.Run(entry); err != nil {
+		return nil, err
+	}
+	return append([]int32(nil), m.Out...), nil
+}
+
+// ISSCycles runs the interpreted instruction-set simulator baseline on a
+// single process and returns its cycle estimate.
+func ISSCycles(prog *Program, entry string, cc CacheCfg) (uint64, error) {
+	isa, err := iss.Generate(prog)
+	if err != nil {
+		return 0, err
+	}
+	m := iss.NewMachine(isa)
+	if err := m.Start(entry); err != nil {
+		return 0, err
+	}
+	s := iss.NewISS(m, iss.DefaultTiming(cc.ISize, cc.DSize))
+	if err := s.Run(0); err != nil {
+		return 0, err
+	}
+	return s.Cycles, nil
+}
+
+// BoardCycles runs the cycle-accurate CPU model on a single process and
+// returns the measured cycles (the "board measurement" of a SW design).
+func BoardCycles(prog *Program, entry string, p *PUM, cc CacheCfg) (uint64, error) {
+	isa, err := iss.Generate(prog)
+	if err != nil {
+		return 0, err
+	}
+	m := iss.NewMachine(isa)
+	if err := m.Start(entry); err != nil {
+		return 0, err
+	}
+	cpu, err := rtl.NewCPU(m, rtl.CPUConfig{
+		Model:  p,
+		ICache: rtl.RealCacheConfig(cc.ISize),
+		DCache: rtl.RealCacheConfig(cc.DSize),
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := cpu.Run(0); err != nil {
+		return 0, err
+	}
+	return cpu.Cycles, nil
+}
+
+// MP3 evaluation application (the paper's workload).
+
+// MP3Config parameterizes the generated MP3-like workload.
+type MP3Config = apps.MP3Config
+
+// MP3Designs lists the paper's design names: SW, SW+1, SW+2, SW+4.
+var MP3Designs = apps.MP3DesignNames
+
+// MP3Source generates the C source of one MP3 design variant.
+func MP3Source(design string, cfg MP3Config) (string, error) { return apps.MP3Source(design, cfg) }
+
+// MP3Design builds the mapped platform for one MP3 design variant.
+func MP3Design(design string, cfg MP3Config, mb *PUM, cc CacheCfg) (*Design, error) {
+	return apps.MP3Design(design, cfg, mb, cc)
+}
+
+// JPEGConfig parameterizes the JPEG-like encoder, the secondary workload.
+type JPEGConfig = apps.JPEGConfig
+
+// JPEGSource generates the C source of the JPEG-like encoder.
+func JPEGSource(cfg JPEGConfig) string { return apps.JPEGSource(cfg) }
+
+// MediaSource combines the MP3 decoder (entry "main") and the JPEG encoder
+// (entry "jpeg_main") into one translation unit, for RTOS consolidation
+// studies.
+func MediaSource(design string, mp3 MP3Config, jpeg JPEGConfig) (string, error) {
+	return apps.MediaSource(design, mp3, jpeg)
+}

@@ -1,0 +1,88 @@
+// mp3dse performs the design-space exploration the paper's methodology
+// enables: it sweeps the four MP3 designs across the five cache
+// configurations with the fast timed TLM (20 simulations in seconds),
+// scores each point by decode time and an area proxy, and reports the best
+// design under an area budget — then validates the chosen point against
+// the cycle-accurate board.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ese"
+)
+
+// areaCost is a crude area proxy: the processor plus cache SRAM plus one
+// unit per hardware accelerator.
+func areaCost(design string, cc ese.CacheCfg) float64 {
+	hw := map[string]float64{"SW": 0, "SW+1": 1, "SW+2": 2, "SW+4": 4}[design]
+	return 10 + hw*3 + float64(cc.ISize+cc.DSize)/4096
+}
+
+func main() {
+	eval := ese.MP3Config{Frames: 1, Seed: 0xC0FFEE}
+
+	// Calibrate the statistical models once, on a training input.
+	trainSrc, err := ese.MP3Source("SW", ese.MP3Config{Frames: 1, Seed: 0x5EED})
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainProg, err := ese.CompileC("train.c", trainSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mb, err := ese.Calibrate(ese.MicroBlazePUM(), trainProg, "main")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const areaBudget = 22.0
+	type point struct {
+		design string
+		cc     ese.CacheCfg
+		cycles uint64
+		area   float64
+	}
+	var best *point
+	fmt.Println("design     cache      est. cycles      area   feasible")
+	for _, design := range ese.MP3Designs {
+		for _, cc := range ese.StandardCacheConfigs {
+			d, err := ese.MP3Design(design, eval, mb, cc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := ese.RunTimedTLM(d)
+			if err != nil {
+				log.Fatal(err)
+			}
+			p := point{design: design, cc: cc, cycles: res.EndCycles(d.Bus.ClockHz), area: areaCost(design, cc)}
+			ok := p.area <= areaBudget
+			mark := " "
+			if ok && (best == nil || p.cycles < best.cycles) {
+				cp := p
+				best = &cp
+				mark = "*"
+			}
+			fmt.Printf("%-8s %8s %14d %9.1f   %v %s\n", p.design, p.cc, p.cycles, p.area, ok, mark)
+		}
+	}
+	if best == nil {
+		log.Fatal("no feasible design point")
+	}
+	fmt.Printf("\nchosen: %s with %s caches (%d est. cycles, area %.1f)\n",
+		best.design, best.cc, best.cycles, best.area)
+
+	// Validate the chosen point on the cycle-accurate board.
+	d, err := ese.MP3Design(best.design, eval, mb, best.cc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	board, err := ese.RunBoard(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref := board.EndCycles(d.Bus.ClockHz)
+	fmt.Printf("board validation: %d cycles (estimate error %+.2f%%)\n",
+		ref, 100*(float64(best.cycles)-float64(ref))/float64(ref))
+}

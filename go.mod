@@ -1,0 +1,3 @@
+module ese
+
+go 1.22

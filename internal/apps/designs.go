@@ -1,0 +1,146 @@
+package apps
+
+import (
+	"fmt"
+
+	"ese/internal/cache"
+	"ese/internal/cdfg"
+	"ese/internal/cfront"
+	"ese/internal/platform"
+	"ese/internal/pum"
+)
+
+// Compile parses, checks and lowers a C-subset source string.
+func Compile(name, src string) (*cdfg.Program, error) {
+	f, err := cfront.Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	u, err := cfront.Check(f)
+	if err != nil {
+		return nil, err
+	}
+	return cdfg.Lower(u)
+}
+
+// CompileMP3 generates and compiles one MP3 design variant.
+func CompileMP3(design string, cfg MP3Config) (*cdfg.Program, error) {
+	src, err := MP3Source(design, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return Compile("mp3_"+design+".c", src)
+}
+
+// realCache is the board cache organization for a size: 2-way, 16B lines.
+func realCache(size int) cache.Config {
+	return cache.Config{Size: size, LineBytes: cache.DefaultLine, Assoc: 2}
+}
+
+// MP3Design builds the mapped platform for one of the paper's designs.
+// mbPUM is the (typically calibrated) MicroBlaze-like model; cacheCfg
+// selects the I/D cache configuration for both the statistical model and
+// the board's real caches.
+func MP3Design(design string, cfg MP3Config, mbPUM *pum.PUM, cacheCfg pum.CacheCfg) (*platform.Design, error) {
+	prog, err := CompileMP3(design, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cpuPUM, err := mbPUM.WithCache(cacheCfg)
+	if err != nil {
+		return nil, err
+	}
+	d := &platform.Design{
+		Name:    fmt.Sprintf("%s@%s", design, cacheCfg),
+		Program: prog,
+		Bus:     platform.DefaultBus(),
+	}
+	d.PEs = append(d.PEs, &platform.PE{
+		Name:   "mb",
+		Kind:   platform.Processor,
+		Entry:  "main",
+		PUM:    cpuPUM,
+		ICache: realCache(cacheCfg.ISize),
+		DCache: realCache(cacheCfg.DSize),
+	})
+	hw := func(name, entry string) *platform.PE {
+		return &platform.PE{
+			Name:  name,
+			Kind:  platform.HWUnit,
+			Entry: entry,
+			PUM:   pum.CustomHW(name, 100_000_000),
+		}
+	}
+	switch design {
+	case "SW":
+	case "SW+1":
+		d.PEs = append(d.PEs, hw("fc_l", "fc_left_hw"))
+	case "SW+2":
+		d.PEs = append(d.PEs, hw("imdct_l", "imdct_left_hw"), hw("fc_l", "fc_left_hw"))
+	case "SW+4":
+		d.PEs = append(d.PEs,
+			hw("imdct_l", "imdct_left_hw"), hw("fc_l", "fc_left_hw"),
+			hw("imdct_r", "imdct_right_hw"), hw("fc_r", "fc_right_hw"))
+	default:
+		return nil, fmt.Errorf("apps: unknown MP3 design %q", design)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if err := d.ValidateChannels(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// JPEGDesign builds a platform for the JPEG encoder: design "SW" runs
+// everything on the processor; design "SW+DCT" offloads the 2-D DCT to a
+// custom hardware unit — the paper's Fig. 4 example PE in an actual
+// mapping.
+func JPEGDesign(design string, cfg JPEGConfig, mbPUM *pum.PUM, cacheCfg pum.CacheCfg) (*platform.Design, error) {
+	var src string
+	switch design {
+	case "SW":
+		src = JPEGSource(cfg)
+	case "SW+DCT":
+		src = JPEGSourceDCTHW(cfg)
+	default:
+		return nil, fmt.Errorf("apps: unknown JPEG design %q", design)
+	}
+	prog, err := Compile("jpeg_"+design+".c", src)
+	if err != nil {
+		return nil, err
+	}
+	cpuPUM, err := mbPUM.WithCache(cacheCfg)
+	if err != nil {
+		return nil, err
+	}
+	d := &platform.Design{
+		Name:    fmt.Sprintf("jpeg-%s@%s", design, cacheCfg),
+		Program: prog,
+		Bus:     platform.DefaultBus(),
+	}
+	d.PEs = append(d.PEs, &platform.PE{
+		Name:   "mb",
+		Kind:   platform.Processor,
+		Entry:  "main",
+		PUM:    cpuPUM,
+		ICache: realCache(cacheCfg.ISize),
+		DCache: realCache(cacheCfg.DSize),
+	})
+	if design == "SW+DCT" {
+		d.PEs = append(d.PEs, &platform.PE{
+			Name:  "dct",
+			Kind:  platform.HWUnit,
+			Entry: "dct_hw",
+			PUM:   pum.CustomHW("dct", 100_000_000),
+		})
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if err := d.ValidateChannels(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

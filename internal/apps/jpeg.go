@@ -1,0 +1,243 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// JPEGConfig parameterizes the JPEG-like encoder workload: a secondary
+// application used to demonstrate retargetability (the estimator works on
+// any C process, not just the MP3 pipeline).
+type JPEGConfig struct {
+	Blocks int    // number of 8x8 blocks to encode
+	Seed   uint32 // image generator seed
+}
+
+// DefaultJPEG is the standard encoder workload.
+var DefaultJPEG = JPEGConfig{Blocks: 24, Seed: 0xBEEF}
+
+// JPEG channel ids (DCT hardware offload design).
+const (
+	ChDCTIn  = 10 // 64-pixel block -> DCT HW
+	ChDCTOut = 11 // transformed block <- DCT HW
+)
+
+// JPEGSource generates the C source of the encoder: per 8x8 block, a
+// level shift, a separable 2-D DCT (fixed point), quantization with a
+// standard-shaped table, zigzag reordering, and run-length encoding of the
+// coefficients, emitting the RLE stream through out().
+func JPEGSource(cfg JPEGConfig) string {
+	return jpegSource(cfg, false)
+}
+
+// JPEGSourceDCTHW generates the DCT-offload variant: the processor ships
+// each level-shifted block to a custom DCT hardware unit (the paper's
+// Fig. 4 example PE) and quantizes/encodes the returned coefficients. The
+// HW process entry is "dct_hw".
+func JPEGSourceDCTHW(cfg JPEGConfig) string {
+	return jpegSource(cfg, true)
+}
+
+func jpegSource(cfg JPEGConfig, offload bool) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// JPEG-like encoder workload: %d blocks, seed 0x%X (generated)\n", cfg.Blocks, cfg.Seed)
+	fmt.Fprintf(&sb, "int NBLOCKS = %d;\n", cfg.Blocks)
+	writeIntArray(&sb, "image", jpegImage(cfg))
+	writeIntArray(&sb, "dct8tab", dct8Table())
+	writeIntArray(&sb, "quanttab", quantTable())
+	writeIntArray(&sb, "zigzag", zigzagOrder())
+	sb.WriteString(`
+int work[64];
+int tmp[64];
+int coef[64];
+
+// dct8_rows applies the 8-point DCT to each row of work into tmp.
+void dct8_rows() {
+  int r;
+  int i;
+  int k;
+  for (r = 0; r < 8; r++) {
+    for (i = 0; i < 8; i++) {
+      int acc = 0;
+      for (k = 0; k < 8; k++) {
+        acc += work[r * 8 + k] * dct8tab[i * 8 + k] >> 12;
+      }
+      tmp[r * 8 + i] = acc;
+    }
+  }
+}
+
+// dct8_cols applies the 8-point DCT to each column of tmp into work.
+void dct8_cols() {
+  int c;
+  int i;
+  int k;
+  for (c = 0; c < 8; c++) {
+    for (i = 0; i < 8; i++) {
+      int acc = 0;
+      for (k = 0; k < 8; k++) {
+        acc += tmp[k * 8 + c] * dct8tab[i * 8 + k] >> 12;
+      }
+      work[i * 8 + c] = acc >> 3;
+    }
+  }
+}
+
+// quantize_zigzag divides by the quantization table and reorders.
+void quantize_zigzag() {
+  int i;
+  for (i = 0; i < 64; i++) {
+    int v = work[zigzag[i]];
+    coef[i] = v / quanttab[zigzag[i]];
+  }
+}
+
+// rle_emit run-length encodes the 64 coefficients: (run, value) pairs with
+// a 0,0 end marker, all through out().
+void rle_emit() {
+  int i;
+  int run = 0;
+  for (i = 0; i < 64; i++) {
+    if (coef[i] == 0) {
+      run++;
+    } else {
+      out(run);
+      out(coef[i]);
+      run = 0;
+    }
+  }
+  out(0);
+  out(0);
+}
+
+`)
+	if offload {
+		fmt.Fprintf(&sb, `
+void main() {
+  int b;
+  int i;
+  for (b = 0; b < NBLOCKS; b++) {
+    for (i = 0; i < 64; i++) {
+      work[i] = image[b * 64 + i] - 128;
+    }
+    send(%d, work, 64);
+    recv(%d, work, 64);
+    quantize_zigzag();
+    rle_emit();
+  }
+}
+
+// dct_hw is the custom DCT unit process (the paper's Fig. 4 example): it
+// receives level-shifted blocks and returns their 2-D transform.
+void dct_hw() {
+  int b;
+  for (b = 0; b < NBLOCKS; b++) {
+    recv(%d, work, 64);
+    dct8_rows();
+    dct8_cols();
+    send(%d, work, 64);
+  }
+}
+`, ChDCTIn, ChDCTOut, ChDCTIn, ChDCTOut)
+	} else {
+		sb.WriteString(`
+void main() {
+  int b;
+  int i;
+  for (b = 0; b < NBLOCKS; b++) {
+    for (i = 0; i < 64; i++) {
+      work[i] = image[b * 64 + i] - 128;
+    }
+    dct8_rows();
+    dct8_cols();
+    quantize_zigzag();
+    rle_emit();
+  }
+}
+`)
+	}
+	return sb.String()
+}
+
+// jpegImage synthesizes cfg.Blocks 8x8 blocks of smooth-ish pixel data.
+func jpegImage(cfg JPEGConfig) []int32 {
+	rng := xorshift32(cfg.Seed)
+	if rng == 0 {
+		rng = 1
+	}
+	img := make([]int32, cfg.Blocks*64)
+	for b := 0; b < cfg.Blocks; b++ {
+		base := int32(rng.next()%160) + 40
+		fx := int32(rng.next()%7) + 1
+		fy := int32(rng.next()%7) + 1
+		for y := 0; y < 8; y++ {
+			for x := 0; x < 8; x++ {
+				noise := int32(rng.next()%9) - 4
+				v := base + int32(x)*fx + int32(y)*fy + noise
+				if v < 0 {
+					v = 0
+				}
+				if v > 255 {
+					v = 255
+				}
+				img[b*64+y*8+x] = v
+			}
+		}
+	}
+	return img
+}
+
+func dct8Table() []int32 {
+	t := make([]int32, 64)
+	for i := 0; i < 8; i++ {
+		for k := 0; k < 8; k++ {
+			t[i*8+k] = int32(math.Round(4096 * math.Cos(float64(2*k+1)*float64(i)*math.Pi/16) / 2))
+		}
+	}
+	return t
+}
+
+func quantTable() []int32 {
+	// Roughly the shape of the JPEG luminance table.
+	t := make([]int32, 64)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			t[y*8+x] = int32(8 + 3*(x+y) + x*y/2)
+		}
+	}
+	return t
+}
+
+func zigzagOrder() []int32 {
+	t := make([]int32, 64)
+	x, y := 0, 0
+	up := true
+	for i := 0; i < 64; i++ {
+		t[i] = int32(y*8 + x)
+		if up {
+			if x == 7 {
+				y++
+				up = false
+			} else if y == 0 {
+				x++
+				up = false
+			} else {
+				x++
+				y--
+			}
+		} else {
+			if y == 7 {
+				x++
+				up = true
+			} else if x == 0 {
+				y++
+				up = true
+			} else {
+				x--
+				y++
+			}
+		}
+	}
+	return t
+}

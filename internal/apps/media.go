@@ -1,0 +1,54 @@
+package apps
+
+import "strings"
+
+// MediaSource combines the MP3-like decoder and the JPEG-like encoder into
+// one translation unit with distinct entry points (`main` for the decoder,
+// `jpeg_main` for the encoder), for consolidation studies: both processes
+// mapped to a single processor under the timed RTOS model, or to separate
+// PEs. The JPEG encoder's identifiers are prefixed to avoid collisions.
+func MediaSource(design string, mp3 MP3Config, jpeg JPEGConfig) (string, error) {
+	dec, err := MP3Source(design, mp3)
+	if err != nil {
+		return "", err
+	}
+	enc := JPEGSource(jpeg)
+	// Prefix the encoder's global names and entry so the two programs
+	// coexist in one unit.
+	for _, name := range []string{
+		"NBLOCKS", "image", "dct8tab", "quanttab", "zigzag",
+		"work", "tmp", "coef",
+		"dct8_rows", "dct8_cols", "quantize_zigzag", "rle_emit",
+	} {
+		enc = replaceIdent(enc, name, "jpeg_"+name)
+	}
+	enc = strings.Replace(enc, "void main() {", "void jpeg_main() {", 1)
+	return dec + "\n" + enc, nil
+}
+
+// replaceIdent replaces whole-identifier occurrences of old with new.
+func replaceIdent(src, old, new string) string {
+	isIdent := func(c byte) bool {
+		return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+	}
+	var sb strings.Builder
+	for i := 0; i < len(src); {
+		j := strings.Index(src[i:], old)
+		if j < 0 {
+			sb.WriteString(src[i:])
+			break
+		}
+		j += i
+		before := j == 0 || !isIdent(src[j-1])
+		afterIdx := j + len(old)
+		after := afterIdx >= len(src) || !isIdent(src[afterIdx])
+		sb.WriteString(src[i:j])
+		if before && after {
+			sb.WriteString(new)
+		} else {
+			sb.WriteString(old)
+		}
+		i = afterIdx
+	}
+	return sb.String()
+}

@@ -1,0 +1,83 @@
+package apps
+
+import (
+	"testing"
+
+	"ese/internal/interp"
+)
+
+func TestMediaSourceCompilesAndBothEntriesRun(t *testing.T) {
+	src, err := MediaSource("SW", MP3Config{Frames: 1, Seed: 5}, JPEGConfig{Blocks: 2, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Compile("media.c", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if prog.Func("main") == nil || prog.Func("jpeg_main") == nil {
+		t.Fatal("missing entries")
+	}
+	// The decoder entry behaves like the standalone decoder.
+	m := interp.New(prog)
+	m.Limit = 100_000_000
+	if err := m.Run("main"); err != nil {
+		t.Fatalf("decoder: %v", err)
+	}
+	decOut := append([]int32(nil), m.Out...)
+
+	standalone, err := CompileMP3("SW", MP3Config{Frames: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := interp.New(standalone)
+	ref.Limit = 100_000_000
+	if err := ref.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	if len(decOut) != len(ref.Out) {
+		t.Fatalf("combined decoder out differs: %d vs %d values", len(decOut), len(ref.Out))
+	}
+	for i := range ref.Out {
+		if decOut[i] != ref.Out[i] {
+			t.Fatalf("combined decoder diverges at %d", i)
+		}
+	}
+
+	// The encoder entry behaves like the standalone encoder.
+	m2 := interp.New(prog)
+	m2.Limit = 100_000_000
+	if err := m2.Run("jpeg_main"); err != nil {
+		t.Fatalf("encoder: %v", err)
+	}
+	standaloneJ, err := Compile("jpeg.c", JPEGSource(JPEGConfig{Blocks: 2, Seed: 6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJ := interp.New(standaloneJ)
+	if err := refJ.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	if len(m2.Out) != len(refJ.Out) {
+		t.Fatalf("combined encoder out differs: %d vs %d values", len(m2.Out), len(refJ.Out))
+	}
+	for i := range refJ.Out {
+		if m2.Out[i] != refJ.Out[i] {
+			t.Fatalf("combined encoder diverges at %d", i)
+		}
+	}
+}
+
+func TestReplaceIdent(t *testing.T) {
+	cases := []struct{ src, old, new, want string }{
+		{"work[i] = work2;", "work", "jpeg_work", "jpeg_work[i] = work2;"},
+		{"network", "work", "X", "network"},
+		{"work work_x work", "work", "W", "W work_x W"},
+		{"", "a", "b", ""},
+	}
+	for _, c := range cases {
+		if got := replaceIdent(c.src, c.old, c.new); got != c.want {
+			t.Errorf("replaceIdent(%q, %q, %q) = %q, want %q", c.src, c.old, c.new, got, c.want)
+		}
+	}
+}

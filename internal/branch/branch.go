@@ -1,0 +1,99 @@
+// Package branch implements the branch predictors of the cycle-accurate
+// board model: a static not-taken predictor (the MicroBlaze-like core) and
+// a 2-bit saturating-counter bimodal predictor. Calibration profiles these
+// to obtain the statistical misprediction ratio of the PUM branch model.
+package branch
+
+// Predictor predicts conditional branch outcomes by program counter.
+type Predictor interface {
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc uint32) bool
+	// Update trains the predictor with the resolved direction.
+	Update(pc uint32, taken bool)
+	// Name identifies the predictor kind.
+	Name() string
+}
+
+// Stats wraps a predictor and counts mispredictions.
+type Stats struct {
+	P          Predictor
+	Branches   uint64
+	Mispredict uint64
+}
+
+// Resolve predicts, updates, and returns whether the prediction missed.
+func (s *Stats) Resolve(pc uint32, taken bool) bool {
+	pred := s.P.Predict(pc)
+	s.P.Update(pc, taken)
+	s.Branches++
+	if pred != taken {
+		s.Mispredict++
+		return true
+	}
+	return false
+}
+
+// MissRate returns the observed misprediction ratio (0 when no branches).
+func (s *Stats) MissRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.Mispredict) / float64(s.Branches)
+}
+
+// Reset clears counters but keeps predictor training state.
+func (s *Stats) Reset() {
+	s.Branches = 0
+	s.Mispredict = 0
+}
+
+// StaticNotTaken always predicts not-taken.
+type StaticNotTaken struct{}
+
+// Predict implements Predictor.
+func (StaticNotTaken) Predict(uint32) bool { return false }
+
+// Update implements Predictor.
+func (StaticNotTaken) Update(uint32, bool) {}
+
+// Name implements Predictor.
+func (StaticNotTaken) Name() string { return "static-nt" }
+
+// Bimodal is a table of 2-bit saturating counters indexed by PC.
+type Bimodal struct {
+	counters []uint8
+	mask     uint32
+}
+
+// NewBimodal creates a predictor with the given table size (power of two).
+func NewBimodal(entries int) *Bimodal {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("branch: bimodal entries must be a positive power of two")
+	}
+	b := &Bimodal{counters: make([]uint8, entries), mask: uint32(entries - 1)}
+	// Initialize to weakly not-taken.
+	for i := range b.counters {
+		b.counters[i] = 1
+	}
+	return b
+}
+
+func (b *Bimodal) idx(pc uint32) uint32 { return (pc >> 2) & b.mask }
+
+// Predict implements Predictor.
+func (b *Bimodal) Predict(pc uint32) bool { return b.counters[b.idx(pc)] >= 2 }
+
+// Update implements Predictor.
+func (b *Bimodal) Update(pc uint32, taken bool) {
+	i := b.idx(pc)
+	if taken {
+		if b.counters[i] < 3 {
+			b.counters[i]++
+		}
+	} else if b.counters[i] > 0 {
+		b.counters[i]--
+	}
+}
+
+// Name implements Predictor.
+func (b *Bimodal) Name() string { return "2bit" }

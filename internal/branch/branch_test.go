@@ -1,0 +1,92 @@
+package branch
+
+import "testing"
+
+func TestStaticNotTaken(t *testing.T) {
+	s := &Stats{P: StaticNotTaken{}}
+	// Loop branch taken 9 times, not taken once.
+	for i := 0; i < 9; i++ {
+		s.Resolve(0x40, true)
+	}
+	s.Resolve(0x40, false)
+	if s.Branches != 10 || s.Mispredict != 9 {
+		t.Fatalf("stats = %d/%d, want 10/9", s.Branches, s.Mispredict)
+	}
+	if s.MissRate() != 0.9 {
+		t.Fatalf("miss rate = %v, want 0.9", s.MissRate())
+	}
+}
+
+func TestBimodalLearnsLoop(t *testing.T) {
+	s := &Stats{P: NewBimodal(256)}
+	// A loop branch taken 99 times then not taken: after warmup the
+	// predictor should be nearly perfect.
+	for rep := 0; rep < 10; rep++ {
+		for i := 0; i < 99; i++ {
+			s.Resolve(0x80, true)
+		}
+		s.Resolve(0x80, false)
+	}
+	if s.MissRate() > 0.05 {
+		t.Fatalf("bimodal miss rate on loop = %v, want <= 0.05", s.MissRate())
+	}
+}
+
+func TestBimodalSaturation(t *testing.T) {
+	b := NewBimodal(16)
+	for i := 0; i < 10; i++ {
+		b.Update(0, true)
+	}
+	if !b.Predict(0) {
+		t.Fatal("saturated-taken counter predicts not-taken")
+	}
+	// One not-taken must not flip a saturated counter.
+	b.Update(0, false)
+	if !b.Predict(0) {
+		t.Fatal("single not-taken flipped saturated counter")
+	}
+	b.Update(0, false)
+	b.Update(0, false)
+	if b.Predict(0) {
+		t.Fatal("counter did not train down")
+	}
+}
+
+func TestBimodalIndexing(t *testing.T) {
+	b := NewBimodal(4)
+	// PCs 4 apart map to adjacent entries; train one, other unaffected.
+	for i := 0; i < 4; i++ {
+		b.Update(0x10, true)
+	}
+	if !b.Predict(0x10) {
+		t.Fatal("trained entry predicts wrong")
+	}
+	if b.Predict(0x14) {
+		t.Fatal("untrained entry predicts taken")
+	}
+	// Aliasing: entries wrap at table size.
+	if !b.Predict(0x10 + 4*4) {
+		t.Fatal("aliased PC should share the trained entry")
+	}
+}
+
+func TestBimodalRejectsBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-power-of-two size")
+		}
+	}()
+	NewBimodal(3)
+}
+
+func TestStatsReset(t *testing.T) {
+	s := &Stats{P: NewBimodal(16)}
+	s.Resolve(0, true)
+	s.Reset()
+	if s.Branches != 0 || s.Mispredict != 0 {
+		t.Fatal("reset failed")
+	}
+	if s.MissRate() != 0 {
+		t.Fatal("miss rate after reset not 0")
+	}
+}

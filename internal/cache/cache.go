@@ -1,0 +1,147 @@
+// Package cache implements a set-associative, write-allocate, LRU cache
+// simulator. It is the memory-hierarchy substrate of the cycle-accurate
+// board model and of PUM calibration: the statistical hit rates in the
+// processing unit model are profiled against these caches.
+package cache
+
+// Config describes one cache.
+type Config struct {
+	Size      int // total bytes; 0 disables the cache (every access misses)
+	LineBytes int // line size in bytes
+	Assoc     int // ways per set
+}
+
+// DefaultLine is the line size used across the board model.
+const DefaultLine = 16
+
+// Cache is one direct-mapped or set-associative cache with true LRU
+// replacement.
+type Cache struct {
+	cfg      Config
+	sets     int
+	lineBits uint
+	tags     [][]uint32 // [set][way] tag (tag 0 means empty via valid bit)
+	valid    [][]bool
+	lru      [][]uint8 // lower value = more recently used
+
+	Accesses uint64
+	Misses   uint64
+}
+
+// New builds a cache; a zero-size config returns a cache where every
+// access misses (the uncached configuration).
+func New(cfg Config) *Cache {
+	c := &Cache{cfg: cfg}
+	if cfg.Size == 0 {
+		return c
+	}
+	if cfg.LineBytes == 0 {
+		cfg.LineBytes = DefaultLine
+		c.cfg.LineBytes = DefaultLine
+	}
+	if cfg.Assoc == 0 {
+		cfg.Assoc = 1
+		c.cfg.Assoc = 1
+	}
+	lines := cfg.Size / cfg.LineBytes
+	c.sets = lines / cfg.Assoc
+	if c.sets == 0 {
+		c.sets = 1
+	}
+	for lb := cfg.LineBytes; lb > 1; lb >>= 1 {
+		c.lineBits++
+	}
+	c.tags = make([][]uint32, c.sets)
+	c.valid = make([][]bool, c.sets)
+	c.lru = make([][]uint8, c.sets)
+	for s := 0; s < c.sets; s++ {
+		c.tags[s] = make([]uint32, cfg.Assoc)
+		c.valid[s] = make([]bool, cfg.Assoc)
+		c.lru[s] = make([]uint8, cfg.Assoc)
+	}
+	return c
+}
+
+// Enabled reports whether the cache holds any lines.
+func (c *Cache) Enabled() bool { return c.sets > 0 }
+
+// Access simulates one access to the byte address and reports whether it
+// hit. Misses allocate the line (write-allocate for stores as well).
+func (c *Cache) Access(addr uint32) bool {
+	c.Accesses++
+	if c.sets == 0 {
+		c.Misses++
+		return false
+	}
+	line := addr >> c.lineBits
+	set := int(line) % c.sets
+	tag := line / uint32(c.sets)
+	ways := c.cfg.Assoc
+	for w := 0; w < ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			c.touch(set, w)
+			return true
+		}
+	}
+	c.Misses++
+	// Choose victim: first invalid way, else LRU (highest counter).
+	victim := -1
+	for w := 0; w < ways; w++ {
+		if !c.valid[set][w] {
+			victim = w
+			break
+		}
+	}
+	if victim < 0 {
+		worst := uint8(0)
+		victim = 0
+		for w := 0; w < ways; w++ {
+			if c.lru[set][w] >= worst {
+				worst = c.lru[set][w]
+				victim = w
+			}
+		}
+	}
+	c.valid[set][victim] = true
+	c.tags[set][victim] = tag
+	c.touch(set, victim)
+	return false
+}
+
+// touch marks the way most-recently-used.
+func (c *Cache) touch(set, way int) {
+	cur := c.lru[set][way]
+	for w := range c.lru[set] {
+		if c.lru[set][w] < cur {
+			c.lru[set][w]++
+		}
+	}
+	c.lru[set][way] = 0
+}
+
+// HitRate returns the observed hit rate (1.0 when no accesses were made,
+// matching the optimistic default of an idle statistics source).
+func (c *Cache) HitRate() float64 {
+	if c.Accesses == 0 {
+		return 1.0
+	}
+	return 1.0 - float64(c.Misses)/float64(c.Accesses)
+}
+
+// ResetStats clears the counters but keeps cache contents.
+func (c *Cache) ResetStats() {
+	c.Accesses = 0
+	c.Misses = 0
+}
+
+// Flush invalidates all lines and clears statistics.
+func (c *Cache) Flush() {
+	for s := range c.valid {
+		for w := range c.valid[s] {
+			c.valid[s][w] = false
+			c.lru[s][w] = 0
+			c.tags[s][w] = 0
+		}
+	}
+	c.ResetStats()
+}

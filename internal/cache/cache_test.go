@@ -1,0 +1,163 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestColdMissThenHit(t *testing.T) {
+	c := New(Config{Size: 1024, LineBytes: 16, Assoc: 1})
+	if c.Access(0x100) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0x100) {
+		t.Fatal("second access missed")
+	}
+	// Same line, different word.
+	if !c.Access(0x104) {
+		t.Fatal("same-line access missed")
+	}
+	// Different line.
+	if c.Access(0x200) {
+		t.Fatal("different line hit")
+	}
+	if c.Accesses != 4 || c.Misses != 2 {
+		t.Fatalf("stats = %d/%d, want 4/2", c.Accesses, c.Misses)
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	// 256B direct-mapped, 16B lines -> 16 sets. Addresses 0 and 256 map to
+	// the same set and evict each other.
+	c := New(Config{Size: 256, LineBytes: 16, Assoc: 1})
+	c.Access(0)
+	c.Access(256)
+	if c.Access(0) {
+		t.Fatal("conflicting line survived in direct-mapped cache")
+	}
+}
+
+func TestAssociativityAvoidsConflict(t *testing.T) {
+	// Same trace with 2-way: both lines fit.
+	c := New(Config{Size: 256, LineBytes: 16, Assoc: 2})
+	c.Access(0)
+	c.Access(128) // 8 sets now: 0 and 128 conflict in set 0
+	if !c.Access(0) {
+		t.Fatal("2-way cache evicted line that should fit")
+	}
+	if !c.Access(128) {
+		t.Fatal("second way lost")
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// 2-way, 32B, 16B lines -> 1 set, 2 ways.
+	c := New(Config{Size: 32, LineBytes: 16, Assoc: 2})
+	c.Access(0)  // miss, way A
+	c.Access(16) // miss, way B
+	c.Access(0)  // hit, A is MRU
+	c.Access(32) // miss, evicts LRU = line 16
+	if !c.Access(0) {
+		t.Fatal("MRU line evicted")
+	}
+	if c.Access(16) {
+		t.Fatal("LRU line not evicted")
+	}
+}
+
+func TestUncachedAlwaysMisses(t *testing.T) {
+	c := New(Config{})
+	for i := 0; i < 10; i++ {
+		if c.Access(uint32(i * 4)) {
+			t.Fatal("uncached access hit")
+		}
+	}
+	if c.HitRate() != 0 {
+		t.Fatalf("hit rate = %v, want 0", c.HitRate())
+	}
+}
+
+func TestFlushAndResetStats(t *testing.T) {
+	c := New(Config{Size: 1024, LineBytes: 16, Assoc: 2})
+	c.Access(0)
+	c.Access(0)
+	c.ResetStats()
+	if c.Accesses != 0 || c.Misses != 0 {
+		t.Fatal("stats not reset")
+	}
+	if !c.Access(0) {
+		t.Fatal("contents lost on ResetStats")
+	}
+	c.Flush()
+	if c.Access(0) {
+		t.Fatal("contents survived Flush")
+	}
+}
+
+func TestHitRateSequentialSweep(t *testing.T) {
+	// Sequential word accesses over 4KB with 16B lines: 1 miss per 4
+	// accesses -> 75% hit rate.
+	c := New(Config{Size: 8 * 1024, LineBytes: 16, Assoc: 2})
+	for a := uint32(0); a < 4096; a += 4 {
+		c.Access(a)
+	}
+	if got := c.HitRate(); got != 0.75 {
+		t.Fatalf("sequential hit rate = %v, want 0.75", got)
+	}
+}
+
+func TestPropertyHitAfterAccess(t *testing.T) {
+	// Property: immediately repeating any access hits, for any cache shape.
+	f := func(addrs []uint32, szSel, assocSel uint8) bool {
+		sizes := []int{256, 1024, 4096}
+		assocs := []int{1, 2, 4}
+		c := New(Config{
+			Size:      sizes[int(szSel)%len(sizes)],
+			LineBytes: 16,
+			Assoc:     assocs[int(assocSel)%len(assocs)],
+		})
+		for _, a := range addrs {
+			c.Access(a)
+			if !c.Access(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMissesNeverExceedAccesses(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		c := New(Config{Size: 512, LineBytes: 16, Assoc: 2})
+		for _, a := range addrs {
+			c.Access(a)
+		}
+		return c.Misses <= c.Accesses && c.HitRate() >= 0 && c.HitRate() <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBiggerCacheNeverWorseOnRepeatTrace(t *testing.T) {
+	// Property (for repeated loops): doubling the size with equal assoc
+	// should not increase misses on a loop-shaped trace.
+	trace := make([]uint32, 0, 4096)
+	for rep := 0; rep < 8; rep++ {
+		for a := uint32(0); a < 2048; a += 4 {
+			trace = append(trace, a)
+		}
+	}
+	small := New(Config{Size: 1024, LineBytes: 16, Assoc: 2})
+	big := New(Config{Size: 4096, LineBytes: 16, Assoc: 2})
+	for _, a := range trace {
+		small.Access(a)
+		big.Access(a)
+	}
+	if big.Misses > small.Misses {
+		t.Fatalf("bigger cache missed more: %d > %d", big.Misses, small.Misses)
+	}
+}

@@ -1,0 +1,200 @@
+package cdfg
+
+// DFG is the data-flow graph of one basic block: Deps[i] lists the indices
+// of earlier instructions that instruction i must wait for. Edges cover true
+// (RAW) dependencies plus the anti/output (WAR/WAW) orderings a hardware
+// scheduler must respect, with array accesses handled at whole-array
+// granularity and calls/communication acting as memory barriers.
+type DFG struct {
+	Block *Block
+	Deps  [][]int
+}
+
+// locKey identifies a scalar storage location for dependency tracking.
+type locKey struct {
+	kind RefKind
+	idx  int
+}
+
+// BuildDFG computes the intra-block dependence graph that Algorithm 1
+// schedules.
+func BuildDFG(b *Block) *DFG {
+	n := len(b.Instrs)
+	d := &DFG{Block: b, Deps: make([][]int, n)}
+
+	lastWrite := make(map[locKey]int)    // location -> last writer
+	readsSince := make(map[locKey][]int) // location -> readers since last write
+	lastStore := make(map[locKey]int)    // array -> last store
+	loadsSince := make(map[locKey][]int) // array -> loads since last store
+	lastBarrier := -1                    // last call/send/recv
+	var memSinceBarrier []int            // loads/stores since last barrier
+
+	addDep := func(i, j int) {
+		if j < 0 || j == i {
+			return
+		}
+		for _, e := range d.Deps[i] {
+			if e == j {
+				return
+			}
+		}
+		d.Deps[i] = append(d.Deps[i], j)
+	}
+
+	readScalar := func(i int, r Ref) {
+		if r.Kind != RefTemp && r.Kind != RefSlot && r.Kind != RefGlobal {
+			return
+		}
+		k := locKey{r.Kind, r.Idx}
+		if w, ok := lastWrite[k]; ok {
+			addDep(i, w)
+		}
+		readsSince[k] = append(readsSince[k], i)
+	}
+
+	writeScalar := func(i int, r Ref) {
+		if r.Kind != RefTemp && r.Kind != RefSlot && r.Kind != RefGlobal {
+			return
+		}
+		k := locKey{r.Kind, r.Idx}
+		if w, ok := lastWrite[k]; ok {
+			addDep(i, w) // WAW
+		}
+		for _, rd := range readsSince[k] {
+			addDep(i, rd) // WAR
+		}
+		lastWrite[k] = i
+		readsSince[k] = nil
+	}
+
+	arrKey := func(r Ref) locKey { return locKey{r.Kind, r.Idx} }
+
+	for i := range b.Instrs {
+		in := &b.Instrs[i]
+		switch in.Op {
+		case OpLoad:
+			readScalar(i, in.A)
+			k := arrKey(in.Arr)
+			if s, ok := lastStore[k]; ok {
+				addDep(i, s)
+			}
+			loadsSince[k] = append(loadsSince[k], i)
+			addDep(i, lastBarrier)
+			memSinceBarrier = append(memSinceBarrier, i)
+			writeScalar(i, in.Dst)
+		case OpStore:
+			readScalar(i, in.A)
+			readScalar(i, in.B)
+			k := arrKey(in.Arr)
+			if s, ok := lastStore[k]; ok {
+				addDep(i, s) // WAW on the array
+			}
+			for _, l := range loadsSince[k] {
+				addDep(i, l) // WAR on the array
+			}
+			lastStore[k] = i
+			loadsSince[k] = nil
+			addDep(i, lastBarrier)
+			memSinceBarrier = append(memSinceBarrier, i)
+		case OpCall, OpSend, OpRecv:
+			readScalar(i, in.A)
+			for _, a := range in.Args {
+				readScalar(i, a) // array bases fall through readScalar's kind filter only for scalars
+			}
+			// Barrier: ordered against all memory traffic and other barriers.
+			addDep(i, lastBarrier)
+			for _, m := range memSinceBarrier {
+				addDep(i, m)
+			}
+			memSinceBarrier = nil
+			lastBarrier = i
+			// Array stores/loads after the barrier must not float above it:
+			// model by treating the barrier as a store to every array it
+			// could touch. Whole-block conservatism: clear per-array state
+			// so later memory ops depend on the barrier via lastBarrier.
+			for k := range lastStore {
+				delete(lastStore, k)
+			}
+			for k := range loadsSince {
+				delete(loadsSince, k)
+			}
+			if in.Op == OpCall {
+				writeScalar(i, in.Dst)
+			}
+		case OpOut:
+			readScalar(i, in.A)
+			addDep(i, lastBarrier)
+			memSinceBarrier = append(memSinceBarrier, i)
+		case OpBr:
+			readScalar(i, in.A)
+		case OpRet:
+			readScalar(i, in.A)
+		case OpJmp:
+			// No data dependencies.
+		default:
+			readScalar(i, in.A)
+			readScalar(i, in.B)
+			writeScalar(i, in.Dst)
+		}
+	}
+	return d
+}
+
+// NumOps returns the operation count of the block, the factor the paper's
+// Algorithm 2 multiplies by the i-cache statistics ("# of BB Ops").
+func NumOps(b *Block) int { return len(b.Instrs) }
+
+// refMem reports whether reading/writing r touches data memory in the code
+// model (global scalars live in memory; locals and temps are registers).
+func refMem(r Ref) int {
+	if r.Kind == RefGlobal {
+		return 1
+	}
+	return 0
+}
+
+// MemOperands returns the number of data-memory operand accesses the
+// instruction makes ("# of BB Operands" per Algorithm 2 accumulates this):
+// one per array element load/store plus one per global-scalar read or write.
+func MemOperands(in *Instr) int {
+	n := 0
+	switch in.Op {
+	case OpLoad:
+		n = 1 + refMem(in.A)
+		if in.Dst.Kind == RefGlobal {
+			n++
+		}
+	case OpStore:
+		n = 1 + refMem(in.A) + refMem(in.B)
+	case OpCall:
+		for i, a := range in.Args {
+			// Scalar argument reads; array bases are link-time constants.
+			isArr := in.Callee != nil && i < len(in.Callee.Params) && in.Callee.Params[i].IsArray
+			if !isArr {
+				n += refMem(a)
+			}
+		}
+		if in.Dst.Kind == RefGlobal {
+			n++
+		}
+	case OpSend, OpRecv:
+		n = refMem(in.A)
+	case OpJmp:
+		n = 0
+	default:
+		n = refMem(in.A) + refMem(in.B)
+		if in.Dst.Kind == RefGlobal {
+			n++
+		}
+	}
+	return n
+}
+
+// BlockMemOperands sums MemOperands over the block.
+func BlockMemOperands(b *Block) int {
+	n := 0
+	for i := range b.Instrs {
+		n += MemOperands(&b.Instrs[i])
+	}
+	return n
+}

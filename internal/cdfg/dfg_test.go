@@ -1,0 +1,292 @@
+package cdfg
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// findBlockWith returns the first block whose instruction list contains an
+// instruction with the given opcode.
+func findBlockWith(p *Program, fn string, op Opcode) *Block {
+	f := p.Func(fn)
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == op {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+func hasDep(d *DFG, i, j int) bool {
+	for _, e := range d.Deps[i] {
+		if e == j {
+			return true
+		}
+	}
+	return false
+}
+
+// reaches reports whether j is a (transitive) dependency of i.
+func reaches(d *DFG, i, j int) bool {
+	seen := make(map[int]bool)
+	var walk func(n int) bool
+	walk = func(n int) bool {
+		if n == j {
+			return true
+		}
+		if seen[n] {
+			return false
+		}
+		seen[n] = true
+		for _, e := range d.Deps[n] {
+			if walk(e) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(i)
+}
+
+func TestDFGRawDependency(t *testing.T) {
+	p := compile(t, `
+void main() {
+  int a = 2;
+  int b = a * 3;
+  int c = b + a;
+  out(c);
+}`)
+	b := p.Func("main").Entry()
+	d := BuildDFG(b)
+	// Find the mul and the add; the add must depend on the mul through b.
+	mul, add := -1, -1
+	for i := range b.Instrs {
+		switch b.Instrs[i].Op {
+		case OpMul:
+			mul = i
+		case OpAdd:
+			add = i
+		}
+	}
+	if mul < 0 || add < 0 {
+		t.Fatalf("mul/add not found:\n%s", p.Func("main").Dump())
+	}
+	if !reaches(d, add, mul) {
+		t.Fatalf("add does not (transitively) depend on mul: deps=%v", d.Deps)
+	}
+}
+
+func TestDFGIndependentOpsHaveNoEdge(t *testing.T) {
+	p := compile(t, `
+void main() {
+  int a = 1;
+  int b = 2;
+  int c = a + a;
+  int e = b * b;
+  out(c + e);
+}`)
+	b := p.Func("main").Entry()
+	d := BuildDFG(b)
+	add, mul := -1, -1
+	for i := range b.Instrs {
+		switch b.Instrs[i].Op {
+		case OpAdd:
+			if add == -1 {
+				add = i
+			}
+		case OpMul:
+			mul = i
+		}
+	}
+	if hasDep(d, mul, add) || hasDep(d, add, mul) {
+		t.Fatalf("independent ops have an edge: add deps=%v mul deps=%v",
+			d.Deps[add], d.Deps[mul])
+	}
+}
+
+func TestDFGMemoryOrdering(t *testing.T) {
+	p := compile(t, `
+int a[4];
+void main() {
+  a[0] = 1;
+  int x = a[0];
+  a[1] = x;
+  out(x);
+}`)
+	b := p.Func("main").Entry()
+	d := BuildDFG(b)
+	var store1, load, store2 = -1, -1, -1
+	for i := range b.Instrs {
+		switch b.Instrs[i].Op {
+		case OpStore:
+			if store1 == -1 {
+				store1 = i
+			} else {
+				store2 = i
+			}
+		case OpLoad:
+			load = i
+		}
+	}
+	if !hasDep(d, load, store1) {
+		t.Errorf("load does not depend on preceding store (RAW via array)")
+	}
+	if !hasDep(d, store2, load) {
+		t.Errorf("store does not depend on preceding load (WAR via array)")
+	}
+	if !hasDep(d, store2, store1) {
+		t.Errorf("store does not depend on preceding store (WAW via array)")
+	}
+}
+
+func TestDFGCallIsBarrier(t *testing.T) {
+	p := compile(t, `
+int a[4];
+void touch(int b[]) { b[0] = 9; }
+void main() {
+  a[0] = 1;
+  touch(a);
+  out(a[0]);
+}`)
+	// The lowering may split blocks; find the block containing the call.
+	b := findBlockWith(p, "main", OpCall)
+	if b == nil {
+		t.Fatal("no call block")
+	}
+	d := BuildDFG(b)
+	call, store, load := -1, -1, -1
+	for i := range b.Instrs {
+		switch b.Instrs[i].Op {
+		case OpCall:
+			call = i
+		case OpStore:
+			store = i
+		case OpLoad:
+			load = i
+		}
+	}
+	if store >= 0 && call >= 0 && !hasDep(d, call, store) {
+		t.Error("call does not depend on earlier store")
+	}
+	if load >= 0 && call >= 0 && !hasDep(d, load, call) {
+		t.Error("load after call does not depend on call")
+	}
+}
+
+func TestDFGAcyclic(t *testing.T) {
+	p := compile(t, `
+int a[16];
+int f(int x) { return x + 1; }
+void main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 16; i++) {
+    a[i] = f(i) * (i + 3) - a[(i + 1) % 16];
+    s += a[i] >> 2;
+  }
+  out(s);
+}`)
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			d := BuildDFG(b)
+			// Deps must always point backwards: edge targets < node index.
+			for i, deps := range d.Deps {
+				for _, j := range deps {
+					if j >= i {
+						t.Fatalf("%s bb%d: forward/self dep %d -> %d", f.Name, b.ID, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMemOperandCounts(t *testing.T) {
+	p := compile(t, `
+int g;
+int a[4];
+void main() {
+  int x = 1;      // mov to slot: 0 mem operands
+  g = x;          // mov to global: 1
+  x = g;          // read global: 1
+  a[0] = x;       // store: 1
+  x = a[1];       // load: 1
+  g = a[g];       // load with global index + global dst: 3
+  out(x);
+}`)
+	b := p.Func("main").Entry()
+	total := BlockMemOperands(b)
+	if total != 7 {
+		t.Fatalf("BlockMemOperands = %d, want 7\n%s", total, p.Func("main").Dump())
+	}
+	if NumOps(b) != len(b.Instrs) {
+		t.Fatalf("NumOps mismatch")
+	}
+}
+
+func TestMemOperandCountsScalarOpsOnGlobals(t *testing.T) {
+	p := compile(t, `
+int g1;
+int g2;
+void main() {
+  g1 = g1 + g2; // add reads g1,g2 and writes g1: 3 accesses
+}`)
+	b := p.Func("main").Entry()
+	// add: A=g1 B=g2 Dst=... depends on lowering: g1 = g1+g2 becomes
+	// t = add g1,g2 (2) then mov g1 = t (1) -> 3 total.
+	if got := BlockMemOperands(b); got != 3 {
+		t.Fatalf("BlockMemOperands = %d, want 3\n%s", got, p.Func("main").Dump())
+	}
+}
+
+func TestDotCFGShape(t *testing.T) {
+	p := compile(t, `
+void main() {
+  int i;
+  for (i = 0; i < 4; i++) out(i);
+}`)
+	f := p.Func("main")
+	dot := f.DotCFG()
+	if !strings.HasPrefix(dot, "digraph") || !strings.HasSuffix(strings.TrimSpace(dot), "}") {
+		t.Fatalf("not a dot graph:\n%s", dot)
+	}
+	// Every block appears as a node; the branch has T and F edges.
+	for _, b := range f.Blocks {
+		if !strings.Contains(dot, fmt.Sprintf("bb%d [label=", b.ID)) {
+			t.Errorf("missing node bb%d", b.ID)
+		}
+	}
+	if !strings.Contains(dot, `[label="T"]`) || !strings.Contains(dot, `[label="F"]`) {
+		t.Error("missing branch edges")
+	}
+	// Edge targets are declared nodes.
+	if strings.Count(dot, "->") < len(f.Blocks)-1 {
+		t.Error("too few edges for a connected CFG")
+	}
+}
+
+func TestDotDFGShape(t *testing.T) {
+	p := compile(t, `
+int a[4];
+void main() {
+  int x = a[0] * 3;
+  a[1] = x + a[2];
+  out(x);
+}`)
+	b := p.Func("main").Entry()
+	dot := DotDFG(b)
+	if strings.Count(dot, "n0 [label=") != 1 {
+		t.Fatalf("missing op nodes:\n%s", dot)
+	}
+	d := BuildDFG(b)
+	edges := 0
+	for _, deps := range d.Deps {
+		edges += len(deps)
+	}
+	if strings.Count(dot, "->") != edges {
+		t.Fatalf("dot edges %d != DFG edges %d", strings.Count(dot, "->"), edges)
+	}
+}

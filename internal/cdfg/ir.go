@@ -1,0 +1,313 @@
+// Package cdfg defines the control/data flow graph IR that the front end
+// lowers C processes into, and that the estimation engine, the TLM executor
+// and the ISA code generator all consume.
+//
+// A Program holds global variables and functions. A Function is a CFG of
+// basic Blocks; each Block is a straight-line sequence of three-address
+// Instrs ending in exactly one terminator (Br, Jmp or Ret). Within a block,
+// BuildDFG recovers the data-flow graph that Algorithm 1 of the paper
+// schedules on the processing unit model.
+//
+// Storage model: scalar variables are IR-level registers (one Slot each for
+// locals/params, one Global each at program scope); arrays live in memory
+// and are touched only by Load/Store. Expression temporaries (RefTemp) are
+// virtual registers private to a function and never count as memory
+// operands. This mirrors the naive (-O0 style) code the ISA backend emits,
+// which keeps the estimation model and the cycle-accurate baselines
+// consistent by construction.
+package cdfg
+
+import (
+	"fmt"
+
+	"ese/internal/cfront"
+)
+
+// Opcode enumerates IR operations.
+type Opcode uint8
+
+const (
+	OpNop Opcode = iota
+
+	// Arithmetic and logic. Dst = A op B (temps/vars/consts).
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpNeg // Dst = -A
+	OpNot // Dst = ^A
+
+	// Comparisons, producing 0/1.
+	OpCmpEq
+	OpCmpNe
+	OpCmpLt
+	OpCmpLe
+	OpCmpGt
+	OpCmpGe
+
+	// Data movement.
+	OpMov   // Dst = A
+	OpLoad  // Dst = Arr[A]
+	OpStore // Arr[A] = B
+
+	// Control flow (terminators, except OpCall).
+	OpBr  // if A != 0 goto Then else Else
+	OpJmp // goto Target
+	OpRet // return A (A may be RefNone)
+
+	// Calls and platform intrinsics.
+	OpCall // Dst (optional) = Callee(Args...)
+	OpSend // send(Chan, Arr, A words)
+	OpRecv // recv(Chan, Arr, A words)
+	OpOut  // out(A)
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div",
+	OpRem: "rem", OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl",
+	OpShr: "shr", OpNeg: "neg", OpNot: "not",
+	OpCmpEq: "cmpeq", OpCmpNe: "cmpne", OpCmpLt: "cmplt", OpCmpLe: "cmple",
+	OpCmpGt: "cmpgt", OpCmpGe: "cmpge",
+	OpMov: "mov", OpLoad: "load", OpStore: "store",
+	OpBr: "br", OpJmp: "jmp", OpRet: "ret",
+	OpCall: "call", OpSend: "send", OpRecv: "recv", OpOut: "out",
+}
+
+func (op Opcode) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", int(op))
+}
+
+// IsTerminator reports whether the opcode ends a basic block.
+func (op Opcode) IsTerminator() bool {
+	return op == OpBr || op == OpJmp || op == OpRet
+}
+
+// Class groups opcodes into the operation classes that the processing unit
+// model's operation mapping table is keyed by.
+type Class uint8
+
+const (
+	ClassNone   Class = iota
+	ClassALU          // add/sub/logic/compare/mov/neg/not
+	ClassMul          // multiply
+	ClassDiv          // divide/remainder
+	ClassShift        // shifts
+	ClassLoad         // memory read
+	ClassStore        // memory write
+	ClassBranch       // conditional branch
+	ClassJump         // unconditional jump, return
+	ClassCall         // function call
+	ClassIO           // send/recv/out bookkeeping op
+)
+
+var classNames = [...]string{
+	ClassNone: "none", ClassALU: "alu", ClassMul: "mul", ClassDiv: "div",
+	ClassShift: "shift", ClassLoad: "load", ClassStore: "store",
+	ClassBranch: "branch", ClassJump: "jump", ClassCall: "call", ClassIO: "io",
+}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// OpClass returns the operation class of an opcode.
+func OpClass(op Opcode) Class {
+	switch op {
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpNeg, OpNot, OpMov,
+		OpCmpEq, OpCmpNe, OpCmpLt, OpCmpLe, OpCmpGt, OpCmpGe:
+		return ClassALU
+	case OpMul:
+		return ClassMul
+	case OpDiv, OpRem:
+		return ClassDiv
+	case OpShl, OpShr:
+		return ClassShift
+	case OpLoad:
+		return ClassLoad
+	case OpStore:
+		return ClassStore
+	case OpBr:
+		return ClassBranch
+	case OpJmp, OpRet:
+		return ClassJump
+	case OpCall:
+		return ClassCall
+	case OpSend, OpRecv, OpOut:
+		return ClassIO
+	}
+	return ClassNone
+}
+
+// RefKind classifies instruction operands.
+type RefKind uint8
+
+const (
+	RefNone   RefKind = iota
+	RefConst          // immediate constant
+	RefTemp           // function-local virtual register
+	RefSlot           // scalar local/param slot, or array slot as a base
+	RefGlobal         // scalar global, or global array as a base
+)
+
+// Ref is an instruction operand.
+type Ref struct {
+	Kind RefKind
+	Val  int32 // RefConst value
+	Idx  int   // temp id, slot index, or global index
+}
+
+// Const returns a constant operand.
+func Const(v int32) Ref { return Ref{Kind: RefConst, Val: v} }
+
+// Temp returns a temp operand.
+func Temp(i int) Ref { return Ref{Kind: RefTemp, Idx: i} }
+
+// SlotRef returns a slot operand.
+func SlotRef(i int) Ref { return Ref{Kind: RefSlot, Idx: i} }
+
+// GlobalRef returns a global operand.
+func GlobalRef(i int) Ref { return Ref{Kind: RefGlobal, Idx: i} }
+
+func (r Ref) String() string {
+	switch r.Kind {
+	case RefNone:
+		return "_"
+	case RefConst:
+		return fmt.Sprintf("#%d", r.Val)
+	case RefTemp:
+		return fmt.Sprintf("t%d", r.Idx)
+	case RefSlot:
+		return fmt.Sprintf("s%d", r.Idx)
+	case RefGlobal:
+		return fmt.Sprintf("g%d", r.Idx)
+	}
+	return "?"
+}
+
+// Instr is one three-address IR operation.
+type Instr struct {
+	Op   Opcode
+	Dst  Ref // result (RefTemp/RefSlot/RefGlobal), or RefNone
+	A, B Ref // operands
+	Arr  Ref // array base for Load/Store/Send/Recv (RefSlot or RefGlobal)
+
+	// Control flow.
+	Then, Else *Block // OpBr
+	Target     *Block // OpJmp
+
+	// Calls.
+	Callee *Function
+	Args   []Ref // scalar refs, or array base refs for array params
+
+	// Intrinsics.
+	Chan int // OpSend/OpRecv channel id
+
+	Pos cfront.Pos
+}
+
+// Block is a basic block.
+type Block struct {
+	ID     int
+	Fn     *Function
+	Instrs []Instr
+
+	// Delay is the estimated execution delay of one dynamic execution of
+	// this block in PE cycles, filled in by the annotation phase.
+	Delay float64
+}
+
+// Terminator returns the block's final instruction.
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	return &b.Instrs[len(b.Instrs)-1]
+}
+
+// Succs returns the successor blocks in CFG order.
+func (b *Block) Succs() []*Block {
+	t := b.Terminator()
+	if t == nil {
+		return nil
+	}
+	switch t.Op {
+	case OpBr:
+		return []*Block{t.Then, t.Else}
+	case OpJmp:
+		return []*Block{t.Target}
+	}
+	return nil
+}
+
+// Slot is one unit of function-local storage.
+type Slot struct {
+	Name    string
+	IsArray bool
+	Size    int32 // words; 1 for scalars, 0 for array params (unsized)
+	IsParam bool
+	ParamIx int     // position in the parameter list, if IsParam
+	Init    []int32 // constant initializer for local arrays/scalars, optional
+}
+
+// Function is a lowered function.
+type Function struct {
+	Name       string
+	ReturnsInt bool
+	Params     []*Slot // aliases into Slots[0:len(Params)]
+	Slots      []*Slot
+	Blocks     []*Block
+	NTemps     int
+}
+
+// Entry returns the function's entry block.
+func (f *Function) Entry() *Block { return f.Blocks[0] }
+
+// Global is one program-scope variable.
+type Global struct {
+	Name    string
+	IsArray bool
+	Size    int32 // words
+	Init    []int32
+}
+
+// Program is a lowered translation unit.
+type Program struct {
+	Globals []*Global
+	Funcs   []*Function
+	funcMap map[string]*Function
+}
+
+// Func returns the function with the given name, or nil.
+func (p *Program) Func(name string) *Function { return p.funcMap[name] }
+
+// NumBlocks returns the total basic-block count, a convenient size metric.
+func (p *Program) NumBlocks() int {
+	n := 0
+	for _, f := range p.Funcs {
+		n += len(f.Blocks)
+	}
+	return n
+}
+
+// NumInstrs returns the total static instruction count.
+func (p *Program) NumInstrs() int {
+	n := 0
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			n += len(b.Instrs)
+		}
+	}
+	return n
+}

@@ -1,0 +1,647 @@
+package cdfg
+
+import (
+	"fmt"
+
+	"ese/internal/cfront"
+)
+
+// Lower converts a checked translation unit into CDFG IR.
+//
+// Semantics fixed here (shared by all execution engines):
+//   - locals without initializers start at zero (frames are zero-filled by
+//     the call ABI, at no cycle cost, in every engine);
+//   - an int function falling off its end returns 0;
+//   - short-circuit &&/|| and ?: lower to control flow, so each basic block
+//     really is branch-free straight-line code, as Algorithm 1 requires.
+func Lower(u *cfront.Unit) (*Program, error) {
+	p := &Program{funcMap: make(map[string]*Function)}
+	globalIdx := make(map[*cfront.Symbol]int)
+	for i, gs := range u.Globals {
+		size := int32(1)
+		if gs.IsArray {
+			size = gs.Size
+		}
+		init := gs.InitVals
+		p.Globals = append(p.Globals, &Global{
+			Name:    gs.Name,
+			IsArray: gs.IsArray,
+			Size:    size,
+			Init:    init,
+		})
+		globalIdx[gs] = i
+	}
+	// Create all function shells first so calls can reference them.
+	fns := make(map[string]*Function)
+	for _, fd := range u.Funcs {
+		fn := &Function{Name: fd.Name, ReturnsInt: fd.ReturnsInt}
+		fns[fd.Name] = fn
+		p.Funcs = append(p.Funcs, fn)
+		p.funcMap[fd.Name] = fn
+	}
+	for _, fd := range u.Funcs {
+		lw := &lowerer{
+			prog:      p,
+			fn:        fns[fd.Name],
+			fns:       fns,
+			globalIdx: globalIdx,
+			slotIdx:   make(map[*cfront.Symbol]int),
+		}
+		if err := lw.lowerFunc(fd); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+type loopCtx struct {
+	breakTo    *Block
+	continueTo *Block
+}
+
+type lowerer struct {
+	prog      *Program
+	fn        *Function
+	fns       map[string]*Function
+	globalIdx map[*cfront.Symbol]int
+	slotIdx   map[*cfront.Symbol]int
+	cur       *Block
+	loops     []loopCtx
+}
+
+func (lw *lowerer) newBlock() *Block {
+	b := &Block{ID: len(lw.fn.Blocks), Fn: lw.fn}
+	lw.fn.Blocks = append(lw.fn.Blocks, b)
+	return b
+}
+
+func (lw *lowerer) emit(in Instr) {
+	lw.cur.Instrs = append(lw.cur.Instrs, in)
+}
+
+func (lw *lowerer) newTemp() Ref {
+	t := Temp(lw.fn.NTemps)
+	lw.fn.NTemps++
+	return t
+}
+
+// sealed reports whether the current block already has a terminator.
+func (lw *lowerer) sealed() bool {
+	t := lw.cur.Terminator()
+	return t != nil && t.Op.IsTerminator()
+}
+
+// jumpTo terminates the current block with a jump to dst (if not already
+// terminated) and makes dst current.
+func (lw *lowerer) jumpTo(dst *Block) {
+	if !lw.sealed() {
+		lw.emit(Instr{Op: OpJmp, Target: dst})
+	}
+	lw.cur = dst
+}
+
+func (lw *lowerer) addSlot(sym *cfront.Symbol, isParam bool, paramIx int) int {
+	size := int32(1)
+	if sym.IsArray {
+		size = sym.Size
+	}
+	s := &Slot{
+		Name:    sym.Name,
+		IsArray: sym.IsArray,
+		Size:    size,
+		IsParam: isParam,
+		ParamIx: paramIx,
+		Init:    sym.InitVals,
+	}
+	idx := len(lw.fn.Slots)
+	lw.fn.Slots = append(lw.fn.Slots, s)
+	lw.slotIdx[sym] = idx
+	if isParam {
+		lw.fn.Params = append(lw.fn.Params, s)
+	}
+	return idx
+}
+
+// varRef returns the operand for a resolved scalar variable or array base.
+func (lw *lowerer) varRef(sym *cfront.Symbol) Ref {
+	if sym.Kind == cfront.SymGlobal {
+		return GlobalRef(lw.globalIdx[sym])
+	}
+	return SlotRef(lw.slotIdx[sym])
+}
+
+func (lw *lowerer) lowerFunc(fd *cfront.FuncDecl) error {
+	for i, p := range fd.Params {
+		lw.addSlot(p.Sym, true, i)
+	}
+	lw.cur = lw.newBlock()
+	if err := lw.block(fd.Body); err != nil {
+		return err
+	}
+	if !lw.sealed() {
+		ret := Instr{Op: OpRet}
+		if fd.ReturnsInt {
+			ret.A = Const(0)
+		}
+		lw.emit(ret)
+	}
+	lw.removeUnreachable()
+	return nil
+}
+
+// removeUnreachable drops blocks not reachable from the entry and renumbers.
+func (lw *lowerer) removeUnreachable() {
+	if len(lw.fn.Blocks) == 0 {
+		return
+	}
+	seen := make(map[*Block]bool)
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs() {
+			visit(s)
+		}
+	}
+	visit(lw.fn.Blocks[0])
+	var keep []*Block
+	for _, b := range lw.fn.Blocks {
+		if seen[b] {
+			b.ID = len(keep)
+			keep = append(keep, b)
+		}
+	}
+	lw.fn.Blocks = keep
+}
+
+func (lw *lowerer) block(b *cfront.BlockStmt) error {
+	for _, s := range b.Stmts {
+		if err := lw.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (lw *lowerer) stmt(s cfront.Stmt) error {
+	switch s := s.(type) {
+	case *cfront.BlockStmt:
+		return lw.block(s)
+	case *cfront.DeclStmt:
+		return lw.declStmt(s)
+	case *cfront.AssignStmt:
+		return lw.assign(s)
+	case *cfront.IncDecStmt:
+		op := cfront.TokPlusEq
+		if s.Dec {
+			op = cfront.TokMinusEq
+		}
+		return lw.assign(&cfront.AssignStmt{
+			Pos: s.Pos, LHS: s.LHS, Op: op,
+			RHS: &cfront.IntLit{Pos: s.Pos, Val: 1},
+		})
+	case *cfront.ExprStmt:
+		call := s.X.(*cfront.CallExpr)
+		_, err := lw.call(call, false)
+		return err
+	case *cfront.IfStmt:
+		return lw.ifStmt(s)
+	case *cfront.WhileStmt:
+		return lw.whileStmt(s)
+	case *cfront.DoWhileStmt:
+		return lw.doWhileStmt(s)
+	case *cfront.ForStmt:
+		return lw.forStmt(s)
+	case *cfront.BreakStmt:
+		if len(lw.loops) == 0 {
+			return fmt.Errorf("%s: break outside loop survived checking", s.Pos)
+		}
+		lw.emit(Instr{Op: OpJmp, Target: lw.loops[len(lw.loops)-1].breakTo, Pos: s.Pos})
+		lw.cur = lw.newBlock() // unreachable continuation
+		return nil
+	case *cfront.ContinueStmt:
+		if len(lw.loops) == 0 {
+			return fmt.Errorf("%s: continue outside loop survived checking", s.Pos)
+		}
+		lw.emit(Instr{Op: OpJmp, Target: lw.loops[len(lw.loops)-1].continueTo, Pos: s.Pos})
+		lw.cur = lw.newBlock()
+		return nil
+	case *cfront.ReturnStmt:
+		in := Instr{Op: OpRet, Pos: s.Pos}
+		if s.X != nil {
+			r, err := lw.expr(s.X)
+			if err != nil {
+				return err
+			}
+			in.A = r
+		}
+		lw.emit(in)
+		lw.cur = lw.newBlock()
+		return nil
+	}
+	return fmt.Errorf("internal: unknown statement %T", s)
+}
+
+func (lw *lowerer) declStmt(s *cfront.DeclStmt) error {
+	sym := s.Decl.Sym
+	idx := lw.addSlot(sym, false, 0)
+	// Locals are zero-initialized by the ABI; emit explicit IR only for
+	// non-zero initializers so that generated code matches what a compiler
+	// would emit for `int x = k;` / `int a[] = {...};`.
+	if !sym.HasInit {
+		if !sym.IsArray && s.Decl.Init != nil {
+			// Non-constant scalar initializer: lower as an assignment.
+			r, err := lw.expr(s.Decl.Init)
+			if err != nil {
+				return err
+			}
+			lw.emit(Instr{Op: OpMov, Dst: SlotRef(idx), A: r, Pos: s.Decl.Pos})
+		}
+		return nil
+	}
+	if sym.IsArray {
+		for i, v := range sym.InitVals {
+			if v == 0 {
+				continue
+			}
+			lw.emit(Instr{
+				Op:  OpStore,
+				Arr: SlotRef(idx),
+				A:   Const(int32(i)),
+				B:   Const(v),
+				Pos: s.Decl.Pos,
+			})
+		}
+		return nil
+	}
+	lw.emit(Instr{Op: OpMov, Dst: SlotRef(idx), A: Const(sym.InitVals[0]), Pos: s.Decl.Pos})
+	return nil
+}
+
+// compoundOp maps a compound-assignment token to the IR opcode.
+var compoundOp = map[cfront.TokKind]Opcode{
+	cfront.TokPlusEq:    OpAdd,
+	cfront.TokMinusEq:   OpSub,
+	cfront.TokStarEq:    OpMul,
+	cfront.TokSlashEq:   OpDiv,
+	cfront.TokPercentEq: OpRem,
+	cfront.TokShlEq:     OpShl,
+	cfront.TokShrEq:     OpShr,
+	cfront.TokAmpEq:     OpAnd,
+	cfront.TokPipeEq:    OpOr,
+	cfront.TokCaretEq:   OpXor,
+}
+
+func (lw *lowerer) assign(s *cfront.AssignStmt) error {
+	switch lhs := s.LHS.(type) {
+	case *cfront.Ident:
+		dst := lw.varRef(lhs.Sym)
+		if s.Op == cfront.TokAssign {
+			r, err := lw.expr(s.RHS)
+			if err != nil {
+				return err
+			}
+			lw.emit(Instr{Op: OpMov, Dst: dst, A: r, Pos: s.Pos})
+			return nil
+		}
+		r, err := lw.expr(s.RHS)
+		if err != nil {
+			return err
+		}
+		lw.emit(Instr{Op: compoundOp[s.Op], Dst: dst, A: dst, B: r, Pos: s.Pos})
+		return nil
+	case *cfront.IndexExpr:
+		arr := lw.varRef(lhs.Arr.Sym)
+		idx, err := lw.expr(lhs.Index)
+		if err != nil {
+			return err
+		}
+		if s.Op == cfront.TokAssign {
+			v, err := lw.expr(s.RHS)
+			if err != nil {
+				return err
+			}
+			lw.emit(Instr{Op: OpStore, Arr: arr, A: idx, B: v, Pos: s.Pos})
+			return nil
+		}
+		// a[i] op= v evaluates the index once.
+		old := lw.newTemp()
+		lw.emit(Instr{Op: OpLoad, Dst: old, Arr: arr, A: idx, Pos: s.Pos})
+		v, err := lw.expr(s.RHS)
+		if err != nil {
+			return err
+		}
+		res := lw.newTemp()
+		lw.emit(Instr{Op: compoundOp[s.Op], Dst: res, A: old, B: v, Pos: s.Pos})
+		lw.emit(Instr{Op: OpStore, Arr: arr, A: idx, B: res, Pos: s.Pos})
+		return nil
+	}
+	return fmt.Errorf("internal: bad assign LHS %T", s.LHS)
+}
+
+func (lw *lowerer) ifStmt(s *cfront.IfStmt) error {
+	thenB := lw.newBlock()
+	exitB := lw.newBlock()
+	elseB := exitB
+	if s.Else != nil {
+		elseB = lw.newBlock()
+	}
+	if err := lw.condBranch(s.Cond, thenB, elseB); err != nil {
+		return err
+	}
+	lw.cur = thenB
+	if err := lw.stmt(s.Then); err != nil {
+		return err
+	}
+	lw.jumpTo(exitB)
+	if s.Else != nil {
+		lw.cur = elseB
+		if err := lw.stmt(s.Else); err != nil {
+			return err
+		}
+		lw.jumpTo(exitB)
+	}
+	lw.cur = exitB
+	return nil
+}
+
+func (lw *lowerer) whileStmt(s *cfront.WhileStmt) error {
+	head := lw.newBlock()
+	body := lw.newBlock()
+	exit := lw.newBlock()
+	lw.jumpTo(head)
+	if err := lw.condBranch(s.Cond, body, exit); err != nil {
+		return err
+	}
+	lw.loops = append(lw.loops, loopCtx{breakTo: exit, continueTo: head})
+	lw.cur = body
+	err := lw.stmt(s.Body)
+	lw.loops = lw.loops[:len(lw.loops)-1]
+	if err != nil {
+		return err
+	}
+	lw.jumpTo(head)
+	lw.cur = exit
+	return nil
+}
+
+func (lw *lowerer) doWhileStmt(s *cfront.DoWhileStmt) error {
+	body := lw.newBlock()
+	cond := lw.newBlock()
+	exit := lw.newBlock()
+	lw.jumpTo(body)
+	lw.loops = append(lw.loops, loopCtx{breakTo: exit, continueTo: cond})
+	err := lw.stmt(s.Body)
+	lw.loops = lw.loops[:len(lw.loops)-1]
+	if err != nil {
+		return err
+	}
+	lw.jumpTo(cond)
+	if err := lw.condBranch(s.Cond, body, exit); err != nil {
+		return err
+	}
+	lw.cur = exit
+	return nil
+}
+
+func (lw *lowerer) forStmt(s *cfront.ForStmt) error {
+	if s.Init != nil {
+		if err := lw.stmt(s.Init); err != nil {
+			return err
+		}
+	}
+	head := lw.newBlock()
+	body := lw.newBlock()
+	post := lw.newBlock()
+	exit := lw.newBlock()
+	lw.jumpTo(head)
+	if s.Cond != nil {
+		if err := lw.condBranch(s.Cond, body, exit); err != nil {
+			return err
+		}
+	} else {
+		lw.jumpTo(body)
+	}
+	lw.loops = append(lw.loops, loopCtx{breakTo: exit, continueTo: post})
+	lw.cur = body
+	err := lw.stmt(s.Body)
+	lw.loops = lw.loops[:len(lw.loops)-1]
+	if err != nil {
+		return err
+	}
+	lw.jumpTo(post)
+	if s.Post != nil {
+		if err := lw.stmt(s.Post); err != nil {
+			return err
+		}
+	}
+	lw.jumpTo(head)
+	lw.cur = exit
+	return nil
+}
+
+// condBranch lowers a condition with short-circuit control flow, branching
+// to thenB when the condition is non-zero and elseB otherwise. It leaves the
+// current block terminated.
+func (lw *lowerer) condBranch(e cfront.Expr, thenB, elseB *Block) error {
+	if v, ok := cfront.EvalConst(e); ok {
+		dst := elseB
+		if v != 0 {
+			dst = thenB
+		}
+		lw.emit(Instr{Op: OpJmp, Target: dst, Pos: e.NodePos()})
+		lw.cur = lw.newBlock()
+		return nil
+	}
+	switch e := e.(type) {
+	case *cfront.BinaryExpr:
+		switch e.Op {
+		case cfront.TokAndAnd:
+			mid := lw.newBlock()
+			if err := lw.condBranch(e.L, mid, elseB); err != nil {
+				return err
+			}
+			lw.cur = mid
+			return lw.condBranch(e.R, thenB, elseB)
+		case cfront.TokOrOr:
+			mid := lw.newBlock()
+			if err := lw.condBranch(e.L, thenB, mid); err != nil {
+				return err
+			}
+			lw.cur = mid
+			return lw.condBranch(e.R, thenB, elseB)
+		}
+	case *cfront.UnaryExpr:
+		if e.Op == cfront.TokBang {
+			return lw.condBranch(e.X, elseB, thenB)
+		}
+	}
+	r, err := lw.expr(e)
+	if err != nil {
+		return err
+	}
+	lw.emit(Instr{Op: OpBr, A: r, Then: thenB, Else: elseB, Pos: e.NodePos()})
+	lw.cur = lw.newBlock()
+	return nil
+}
+
+var binOp = map[cfront.TokKind]Opcode{
+	cfront.TokPlus: OpAdd, cfront.TokMinus: OpSub, cfront.TokStar: OpMul,
+	cfront.TokSlash: OpDiv, cfront.TokPercent: OpRem,
+	cfront.TokAmp: OpAnd, cfront.TokPipe: OpOr, cfront.TokCaret: OpXor,
+	cfront.TokShl: OpShl, cfront.TokShr: OpShr,
+	cfront.TokEq: OpCmpEq, cfront.TokNe: OpCmpNe,
+	cfront.TokLt: OpCmpLt, cfront.TokLe: OpCmpLe,
+	cfront.TokGt: OpCmpGt, cfront.TokGe: OpCmpGe,
+}
+
+// expr lowers an int-valued expression and returns its operand.
+func (lw *lowerer) expr(e cfront.Expr) (Ref, error) {
+	if v, ok := cfront.EvalConst(e); ok {
+		return Const(v), nil
+	}
+	switch e := e.(type) {
+	case *cfront.IntLit:
+		return Const(e.Val), nil
+	case *cfront.Ident:
+		return lw.varRef(e.Sym), nil
+	case *cfront.IndexExpr:
+		arr := lw.varRef(e.Arr.Sym)
+		idx, err := lw.expr(e.Index)
+		if err != nil {
+			return Ref{}, err
+		}
+		t := lw.newTemp()
+		lw.emit(Instr{Op: OpLoad, Dst: t, Arr: arr, A: idx, Pos: e.Pos})
+		return t, nil
+	case *cfront.CallExpr:
+		return lw.call(e, true)
+	case *cfront.UnaryExpr:
+		x, err := lw.expr(e.X)
+		if err != nil {
+			return Ref{}, err
+		}
+		t := lw.newTemp()
+		switch e.Op {
+		case cfront.TokMinus:
+			lw.emit(Instr{Op: OpNeg, Dst: t, A: x, Pos: e.Pos})
+		case cfront.TokTilde:
+			lw.emit(Instr{Op: OpNot, Dst: t, A: x, Pos: e.Pos})
+		case cfront.TokBang:
+			lw.emit(Instr{Op: OpCmpEq, Dst: t, A: x, B: Const(0), Pos: e.Pos})
+		default:
+			return Ref{}, fmt.Errorf("internal: unary op %v", e.Op)
+		}
+		return t, nil
+	case *cfront.BinaryExpr:
+		if e.Op == cfront.TokAndAnd || e.Op == cfront.TokOrOr {
+			return lw.shortCircuitValue(e)
+		}
+		l, err := lw.expr(e.L)
+		if err != nil {
+			return Ref{}, err
+		}
+		r, err := lw.expr(e.R)
+		if err != nil {
+			return Ref{}, err
+		}
+		t := lw.newTemp()
+		lw.emit(Instr{Op: binOp[e.Op], Dst: t, A: l, B: r, Pos: e.Pos})
+		return t, nil
+	case *cfront.CondExpr:
+		thenB := lw.newBlock()
+		elseB := lw.newBlock()
+		join := lw.newBlock()
+		t := lw.newTemp()
+		if err := lw.condBranch(e.Cond, thenB, elseB); err != nil {
+			return Ref{}, err
+		}
+		lw.cur = thenB
+		tv, err := lw.expr(e.T)
+		if err != nil {
+			return Ref{}, err
+		}
+		lw.emit(Instr{Op: OpMov, Dst: t, A: tv, Pos: e.Pos})
+		lw.jumpTo(join)
+		lw.cur = elseB
+		fv, err := lw.expr(e.F)
+		if err != nil {
+			return Ref{}, err
+		}
+		lw.emit(Instr{Op: OpMov, Dst: t, A: fv, Pos: e.Pos})
+		lw.jumpTo(join)
+		lw.cur = join
+		return t, nil
+	}
+	return Ref{}, fmt.Errorf("internal: unknown expression %T", e)
+}
+
+// shortCircuitValue materializes a && / || used as a value into a 0/1 temp.
+func (lw *lowerer) shortCircuitValue(e *cfront.BinaryExpr) (Ref, error) {
+	setT := lw.newBlock()
+	setF := lw.newBlock()
+	join := lw.newBlock()
+	t := lw.newTemp()
+	if err := lw.condBranch(e, setT, setF); err != nil {
+		return Ref{}, err
+	}
+	lw.cur = setT
+	lw.emit(Instr{Op: OpMov, Dst: t, A: Const(1), Pos: e.Pos})
+	lw.jumpTo(join)
+	lw.cur = setF
+	lw.emit(Instr{Op: OpMov, Dst: t, A: Const(0), Pos: e.Pos})
+	lw.jumpTo(join)
+	lw.cur = join
+	return t, nil
+}
+
+// call lowers a user call or intrinsic. wantValue reports whether the result
+// is used.
+func (lw *lowerer) call(e *cfront.CallExpr, wantValue bool) (Ref, error) {
+	switch e.Name {
+	case cfront.IntrinsicSend, cfront.IntrinsicRecv:
+		ch, _ := cfront.EvalConst(e.Args[0])
+		arrIdent := e.Args[1].(*cfront.Ident)
+		arr := lw.varRef(arrIdent.Sym)
+		n, err := lw.expr(e.Args[2])
+		if err != nil {
+			return Ref{}, err
+		}
+		op := OpSend
+		if e.Name == cfront.IntrinsicRecv {
+			op = OpRecv
+		}
+		lw.emit(Instr{Op: op, Arr: arr, A: n, Chan: int(ch), Pos: e.Pos})
+		return Ref{}, nil
+	case cfront.IntrinsicOut:
+		v, err := lw.expr(e.Args[0])
+		if err != nil {
+			return Ref{}, err
+		}
+		lw.emit(Instr{Op: OpOut, A: v, Pos: e.Pos})
+		return Ref{}, nil
+	}
+	callee := lw.fns[e.Name]
+	if callee == nil {
+		return Ref{}, fmt.Errorf("%s: call to unknown function %q survived checking", e.Pos, e.Name)
+	}
+	in := Instr{Op: OpCall, Callee: callee, Pos: e.Pos}
+	for _, a := range e.Args {
+		if id, ok := a.(*cfront.Ident); ok && id.Sym != nil && id.Sym.IsArray {
+			in.Args = append(in.Args, lw.varRef(id.Sym))
+			continue
+		}
+		r, err := lw.expr(a)
+		if err != nil {
+			return Ref{}, err
+		}
+		in.Args = append(in.Args, r)
+	}
+	if wantValue {
+		in.Dst = lw.newTemp()
+	}
+	lw.emit(in)
+	return in.Dst, nil
+}

@@ -1,0 +1,117 @@
+package cdfg
+
+import (
+	"testing"
+)
+
+const simplifySrc = `
+int a[32];
+int g;
+int f(int x) {
+  if (x > 0 && x < 10) return x * 2;
+  return -x;
+}
+void main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 32; i++) {
+    a[i] = f(i) + (i % 3 == 0 ? 7 : 1);
+    if (a[i] > 20) {
+      s += a[i];
+    } else {
+      s -= a[i];
+    }
+  }
+  g = s;
+  out(s);
+  out(g);
+}
+`
+
+func TestSimplifyReducesBlocks(t *testing.T) {
+	p := compile(t, simplifySrc)
+	before := p.NumBlocks()
+	SimplifyProgram(p)
+	after := p.NumBlocks()
+	if after >= before {
+		t.Fatalf("simplify did not reduce blocks: %d -> %d", before, after)
+	}
+	checkWellFormed(t, p)
+}
+
+func TestSimplifyPreservesInstructionKinds(t *testing.T) {
+	// Non-control instructions must survive (count invariant): simplify
+	// only removes jumps and empty blocks.
+	p := compile(t, simplifySrc)
+	countNonJmp := func() int {
+		n := 0
+		for _, f := range p.Funcs {
+			for _, b := range f.Blocks {
+				for i := range b.Instrs {
+					if b.Instrs[i].Op != OpJmp {
+						n++
+					}
+				}
+			}
+		}
+		return n
+	}
+	before := countNonJmp()
+	SimplifyProgram(p)
+	if got := countNonJmp(); got != before {
+		t.Fatalf("non-jump instruction count changed: %d -> %d", before, got)
+	}
+}
+
+func TestSimplifyIdempotent(t *testing.T) {
+	p := compile(t, simplifySrc)
+	SimplifyProgram(p)
+	once := p.NumBlocks()
+	SimplifyProgram(p)
+	if p.NumBlocks() != once {
+		t.Fatalf("simplify not idempotent: %d -> %d", once, p.NumBlocks())
+	}
+}
+
+func TestSimplifyInfiniteLoopSafe(t *testing.T) {
+	// for(;;) produces a self-jump structure; threading must not spin.
+	p := compile(t, `
+void main() {
+  int i = 0;
+  for (;;) {
+    i++;
+    if (i > 3) break;
+  }
+  out(i);
+}`)
+	SimplifyProgram(p)
+	checkWellFormed(t, p)
+}
+
+func TestSimplifySingleBlockUntouched(t *testing.T) {
+	p := compile(t, `void main() { out(1 + 2); }`)
+	before := p.NumBlocks()
+	SimplifyProgram(p)
+	if p.NumBlocks() != before {
+		t.Fatalf("straight-line program changed: %d -> %d", before, p.NumBlocks())
+	}
+}
+
+func TestSimplifyGrowsAverageBlockSize(t *testing.T) {
+	p := compile(t, simplifySrc)
+	avg := func() float64 {
+		instrs, blocks := 0, 0
+		for _, f := range p.Funcs {
+			for _, b := range f.Blocks {
+				instrs += len(b.Instrs)
+				blocks++
+			}
+		}
+		return float64(instrs) / float64(blocks)
+	}
+	before := avg()
+	SimplifyProgram(p)
+	if after := avg(); after <= before {
+		t.Fatalf("average block size did not grow: %.2f -> %.2f", before, after)
+	}
+}

@@ -1,0 +1,251 @@
+// Package cfront is the C front-end of the estimation tool chain: it parses
+// application processes written in a C subset into an AST and checks them,
+// playing the role the LLVM front-end plays in the paper.
+//
+// The accepted subset is the part of C the paper's workloads need:
+//
+//   - a single value type, 32-bit signed int, plus fixed-size int arrays;
+//   - global and local variables with constant initializers;
+//   - functions with int/void results and int or int[] parameters
+//     (array parameters are passed by reference);
+//   - if/else, while, do-while, for, break, continue, return;
+//   - full C integer expression grammar including ?: and short-circuit
+//     && and ||, compound assignment, and ++/-- statements;
+//   - the platform intrinsics send(ch, arr, n), recv(ch, arr, n) for
+//     transaction-level communication and out(v) for result emission.
+//
+// Division or remainder by zero evaluates to zero in every execution engine
+// (documented deviation from C, which leaves it undefined).
+package cfront
+
+// Node is implemented by all AST nodes.
+type Node interface {
+	NodePos() Pos
+}
+
+// File is a parsed translation unit.
+type File struct {
+	Name  string
+	Decls []Decl
+}
+
+// Decl is a top-level declaration: a global variable or a function.
+type Decl interface {
+	Node
+	declNode()
+}
+
+// VarDecl declares a scalar or array variable, at file scope or inside a
+// function body.
+type VarDecl struct {
+	Pos      Pos
+	Name     string
+	IsArray  bool
+	SizeExpr Expr   // array size, must be constant; nil for scalars
+	Init     Expr   // scalar initializer, optional
+	InitList []Expr // array initializer list, optional
+	Sym      *Symbol
+}
+
+func (d *VarDecl) NodePos() Pos { return d.Pos }
+func (d *VarDecl) declNode()    {}
+
+// Param is a function parameter; array parameters are unsized references.
+type Param struct {
+	Pos     Pos
+	Name    string
+	IsArray bool
+	Sym     *Symbol
+}
+
+// FuncDecl declares a function with a body.
+type FuncDecl struct {
+	Pos        Pos
+	Name       string
+	Params     []*Param
+	ReturnsInt bool // false means void
+	Body       *BlockStmt
+	Sym        *Symbol
+}
+
+func (d *FuncDecl) NodePos() Pos { return d.Pos }
+func (d *FuncDecl) declNode()    {}
+
+// Stmt is implemented by all statements.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// BlockStmt is a braced statement list with its own scope.
+type BlockStmt struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// DeclStmt wraps a local VarDecl.
+type DeclStmt struct {
+	Decl *VarDecl
+}
+
+// AssignStmt assigns RHS to an lvalue; Op is TokAssign or a compound
+// assignment token such as TokPlusEq.
+type AssignStmt struct {
+	Pos Pos
+	LHS Expr // *Ident or *IndexExpr
+	Op  TokKind
+	RHS Expr
+}
+
+// IncDecStmt is x++ / x-- / a[i]++ / a[i]-- in statement position.
+type IncDecStmt struct {
+	Pos Pos
+	LHS Expr
+	Dec bool
+}
+
+// ExprStmt evaluates an expression for its side effects (calls only).
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body Stmt
+}
+
+// DoWhileStmt is a do { } while (cond); loop.
+type DoWhileStmt struct {
+	Pos  Pos
+	Body Stmt
+	Cond Expr
+}
+
+// ForStmt is for(init; cond; post). Any of the three parts may be nil.
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt // AssignStmt, DeclStmt, IncDecStmt or ExprStmt
+	Cond Expr
+	Post Stmt
+	Body Stmt
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Pos Pos }
+
+// ReturnStmt returns from the current function, with a value iff the
+// function returns int.
+type ReturnStmt struct {
+	Pos Pos
+	X   Expr // may be nil
+}
+
+func (s *BlockStmt) NodePos() Pos    { return s.Pos }
+func (s *DeclStmt) NodePos() Pos     { return s.Decl.Pos }
+func (s *AssignStmt) NodePos() Pos   { return s.Pos }
+func (s *IncDecStmt) NodePos() Pos   { return s.Pos }
+func (s *ExprStmt) NodePos() Pos     { return s.Pos }
+func (s *IfStmt) NodePos() Pos       { return s.Pos }
+func (s *WhileStmt) NodePos() Pos    { return s.Pos }
+func (s *DoWhileStmt) NodePos() Pos  { return s.Pos }
+func (s *ForStmt) NodePos() Pos      { return s.Pos }
+func (s *BreakStmt) NodePos() Pos    { return s.Pos }
+func (s *ContinueStmt) NodePos() Pos { return s.Pos }
+func (s *ReturnStmt) NodePos() Pos   { return s.Pos }
+
+func (*BlockStmt) stmtNode()    {}
+func (*DeclStmt) stmtNode()     {}
+func (*AssignStmt) stmtNode()   {}
+func (*IncDecStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*DoWhileStmt) stmtNode()  {}
+func (*ForStmt) stmtNode()      {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ReturnStmt) stmtNode()   {}
+
+// Expr is implemented by all expressions.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Pos Pos
+	Val int32
+}
+
+// Ident names a variable (scalar use) or an array (as a call argument).
+type Ident struct {
+	Pos  Pos
+	Name string
+	Sym  *Symbol
+}
+
+// IndexExpr is arr[idx].
+type IndexExpr struct {
+	Pos   Pos
+	Arr   *Ident
+	Index Expr
+}
+
+// CallExpr calls a user function or an intrinsic (send/recv/out).
+type CallExpr struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+	Sym  *Symbol // nil for intrinsics
+}
+
+// UnaryExpr is -x, !x or ~x.
+type UnaryExpr struct {
+	Pos Pos
+	Op  TokKind
+	X   Expr
+}
+
+// BinaryExpr is a binary operation, including short-circuit && and ||.
+type BinaryExpr struct {
+	Pos  Pos
+	Op   TokKind
+	L, R Expr
+}
+
+// CondExpr is the ternary c ? a : b.
+type CondExpr struct {
+	Pos        Pos
+	Cond, T, F Expr
+}
+
+func (e *IntLit) NodePos() Pos     { return e.Pos }
+func (e *Ident) NodePos() Pos      { return e.Pos }
+func (e *IndexExpr) NodePos() Pos  { return e.Pos }
+func (e *CallExpr) NodePos() Pos   { return e.Pos }
+func (e *UnaryExpr) NodePos() Pos  { return e.Pos }
+func (e *BinaryExpr) NodePos() Pos { return e.Pos }
+func (e *CondExpr) NodePos() Pos   { return e.Pos }
+
+func (*IntLit) exprNode()     {}
+func (*Ident) exprNode()      {}
+func (*IndexExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*CondExpr) exprNode()   {}

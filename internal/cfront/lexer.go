@@ -1,0 +1,248 @@
+package cfront
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// lexer converts source text into tokens. It handles //-line and /* block */
+// comments and decimal/hex integer literals.
+type lexer struct {
+	file string
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(file, src string) *lexer {
+	return &lexer{file: file, src: src, line: 1, col: 1}
+}
+
+func (lx *lexer) errorf(p Pos, format string, args ...any) error {
+	return &Error{File: lx.file, Pos: p, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lx *lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+// skipSpace consumes whitespace and comments.
+func (lx *lexer) skipSpace() error {
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			p := lx.pos()
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.off < len(lx.src) {
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return lx.errorf(p, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// next scans one token.
+func (lx *lexer) next() (Token, error) {
+	if err := lx.skipSpace(); err != nil {
+		return Token{}, err
+	}
+	p := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: p}, nil
+	}
+	c := lx.peek()
+	switch {
+	case isIdentStart(c):
+		start := lx.off
+		for lx.off < len(lx.src) && isIdentCont(lx.peek()) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.off]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: p}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: p}, nil
+	case isDigit(c):
+		start := lx.off
+		base := 10
+		if c == '0' && (lx.peek2() == 'x' || lx.peek2() == 'X') {
+			base = 16
+			lx.advance()
+			lx.advance()
+			for lx.off < len(lx.src) && isHexDigit(lx.peek()) {
+				lx.advance()
+			}
+		} else {
+			for lx.off < len(lx.src) && isDigit(lx.peek()) {
+				lx.advance()
+			}
+		}
+		text := lx.src[start:lx.off]
+		digits := text
+		if base == 16 {
+			digits = text[2:]
+			if digits == "" {
+				return Token{}, lx.errorf(p, "malformed hex literal %q", text)
+			}
+		}
+		v, err := strconv.ParseUint(digits, base, 32)
+		if err != nil {
+			return Token{}, lx.errorf(p, "integer literal %q out of 32-bit range", text)
+		}
+		return Token{Kind: TokNumber, Text: text, Val: int32(uint32(v)), Pos: p}, nil
+	}
+	lx.advance()
+	two := func(next byte, withKind, without TokKind) Token {
+		if lx.peek() == next {
+			lx.advance()
+			return Token{Kind: withKind, Pos: p}
+		}
+		return Token{Kind: without, Pos: p}
+	}
+	switch c {
+	case '(':
+		return Token{Kind: TokLParen, Pos: p}, nil
+	case ')':
+		return Token{Kind: TokRParen, Pos: p}, nil
+	case '{':
+		return Token{Kind: TokLBrace, Pos: p}, nil
+	case '}':
+		return Token{Kind: TokRBrace, Pos: p}, nil
+	case '[':
+		return Token{Kind: TokLBracket, Pos: p}, nil
+	case ']':
+		return Token{Kind: TokRBracket, Pos: p}, nil
+	case ',':
+		return Token{Kind: TokComma, Pos: p}, nil
+	case ';':
+		return Token{Kind: TokSemi, Pos: p}, nil
+	case '?':
+		return Token{Kind: TokQuestion, Pos: p}, nil
+	case ':':
+		return Token{Kind: TokColon, Pos: p}, nil
+	case '~':
+		return Token{Kind: TokTilde, Pos: p}, nil
+	case '+':
+		if lx.peek() == '+' {
+			lx.advance()
+			return Token{Kind: TokInc, Pos: p}, nil
+		}
+		return two('=', TokPlusEq, TokPlus), nil
+	case '-':
+		if lx.peek() == '-' {
+			lx.advance()
+			return Token{Kind: TokDec, Pos: p}, nil
+		}
+		return two('=', TokMinusEq, TokMinus), nil
+	case '*':
+		return two('=', TokStarEq, TokStar), nil
+	case '/':
+		return two('=', TokSlashEq, TokSlash), nil
+	case '%':
+		return two('=', TokPercentEq, TokPercent), nil
+	case '^':
+		return two('=', TokCaretEq, TokCaret), nil
+	case '!':
+		return two('=', TokNe, TokBang), nil
+	case '=':
+		return two('=', TokEq, TokAssign), nil
+	case '&':
+		if lx.peek() == '&' {
+			lx.advance()
+			return Token{Kind: TokAndAnd, Pos: p}, nil
+		}
+		return two('=', TokAmpEq, TokAmp), nil
+	case '|':
+		if lx.peek() == '|' {
+			lx.advance()
+			return Token{Kind: TokOrOr, Pos: p}, nil
+		}
+		return two('=', TokPipeEq, TokPipe), nil
+	case '<':
+		if lx.peek() == '<' {
+			lx.advance()
+			return two('=', TokShlEq, TokShl), nil
+		}
+		return two('=', TokLe, TokLt), nil
+	case '>':
+		if lx.peek() == '>' {
+			lx.advance()
+			return two('=', TokShrEq, TokShr), nil
+		}
+		return two('=', TokGe, TokGt), nil
+	}
+	return Token{}, lx.errorf(p, "unexpected character %q", string(c))
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// lexAll tokenizes the whole source, for the parser and for tests.
+func lexAll(file, src string) ([]Token, error) {
+	lx := newLexer(file, src)
+	var toks []Token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package cfront
+
+import "testing"
+
+func kinds(toks []Token) []TokKind {
+	out := make([]TokKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks, err := lexAll("t.c", "int x = 42; // comment\nx += 0x1F;")
+	if err != nil {
+		t.Fatalf("lex: %v", err)
+	}
+	want := []TokKind{TokInt, TokIdent, TokAssign, TokNumber, TokSemi,
+		TokIdent, TokPlusEq, TokNumber, TokSemi, TokEOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("kinds = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", got, want)
+		}
+	}
+	if toks[3].Val != 42 {
+		t.Errorf("literal = %d, want 42", toks[3].Val)
+	}
+	if toks[7].Val != 0x1F {
+		t.Errorf("hex literal = %d, want 31", toks[7].Val)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	src := "<< >> <<= >>= <= >= < > == != = && || & | ^ ~ ! ++ -- += -= *= /= %= &= |= ^= ? :"
+	toks, err := lexAll("t.c", src)
+	if err != nil {
+		t.Fatalf("lex: %v", err)
+	}
+	want := []TokKind{TokShl, TokShr, TokShlEq, TokShrEq, TokLe, TokGe, TokLt,
+		TokGt, TokEq, TokNe, TokAssign, TokAndAnd, TokOrOr, TokAmp, TokPipe,
+		TokCaret, TokTilde, TokBang, TokInc, TokDec, TokPlusEq, TokMinusEq,
+		TokStarEq, TokSlashEq, TokPercentEq, TokAmpEq, TokPipeEq, TokCaretEq,
+		TokQuestion, TokColon, TokEOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexBlockComment(t *testing.T) {
+	toks, err := lexAll("t.c", "a /* multi\nline */ b")
+	if err != nil {
+		t.Fatalf("lex: %v", err)
+	}
+	if len(toks) != 3 || toks[0].Text != "a" || toks[1].Text != "b" {
+		t.Fatalf("toks = %+v", toks)
+	}
+	if toks[1].Pos.Line != 2 {
+		t.Errorf("b at line %d, want 2", toks[1].Pos.Line)
+	}
+}
+
+func TestLexUnterminatedComment(t *testing.T) {
+	if _, err := lexAll("t.c", "a /* never closed"); err == nil {
+		t.Fatal("expected error for unterminated comment")
+	}
+}
+
+func TestLexKeywordsVsIdents(t *testing.T) {
+	toks, err := lexAll("t.c", "if ifx for force _while")
+	if err != nil {
+		t.Fatalf("lex: %v", err)
+	}
+	want := []TokKind{TokIf, TokIdent, TokFor, TokIdent, TokIdent, TokEOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLexBadChar(t *testing.T) {
+	if _, err := lexAll("t.c", "int @x;"); err == nil {
+		t.Fatal("expected error for '@'")
+	}
+}
+
+func TestLexOverflowLiteral(t *testing.T) {
+	if _, err := lexAll("t.c", "x = 99999999999;"); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	// 0xFFFFFFFF fits as unsigned and wraps to -1.
+	toks, err := lexAll("t.c", "0xFFFFFFFF")
+	if err != nil {
+		t.Fatalf("lex: %v", err)
+	}
+	if toks[0].Val != -1 {
+		t.Fatalf("0xFFFFFFFF lexed as %d, want -1", toks[0].Val)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := lexAll("t.c", "int\n  x;")
+	if err != nil {
+		t.Fatalf("lex: %v", err)
+	}
+	if toks[0].Pos != (Pos{1, 1}) {
+		t.Errorf("int at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{2, 3}) {
+		t.Errorf("x at %v, want 2:3", toks[1].Pos)
+	}
+}

@@ -1,0 +1,567 @@
+package cfront
+
+import "fmt"
+
+// Parse tokenizes and parses one source file of the C subset into an AST.
+// The returned File is unchecked; run Check on it before lowering.
+func Parse(name, src string) (*File, error) {
+	toks, err := lexAll(name, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{file: name, toks: toks}
+	return p.parseFile()
+}
+
+type parser struct {
+	file string
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token { return p.toks[p.pos] }
+func (p *parser) la(n int) Token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+n]
+}
+
+func (p *parser) advance() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(pos Pos, format string, args ...any) error {
+	return &Error{File: p.file, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k TokKind) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, p.errorf(t.Pos, "expected %q, found %q", k.String(), t.Kind.String())
+	}
+	p.advance()
+	return t, nil
+}
+
+func (p *parser) parseFile() (*File, error) {
+	f := &File{Name: p.file}
+	for p.cur().Kind != TokEOF {
+		d, err := p.parseTopDecl()
+		if err != nil {
+			return nil, err
+		}
+		f.Decls = append(f.Decls, d)
+	}
+	return f, nil
+}
+
+// parseTopDecl parses either a global variable or a function definition.
+func (p *parser) parseTopDecl() (Decl, error) {
+	t := p.cur()
+	if t.Kind != TokInt && t.Kind != TokVoid {
+		return nil, p.errorf(t.Pos, "expected declaration, found %q", t.Kind.String())
+	}
+	returnsInt := t.Kind == TokInt
+	p.advance()
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == TokLParen {
+		return p.parseFuncRest(t.Pos, name.Text, returnsInt)
+	}
+	if !returnsInt {
+		return nil, p.errorf(t.Pos, "variable %q cannot have type void", name.Text)
+	}
+	d, err := p.parseVarRest(t.Pos, name.Text)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// parseVarRest parses the declarator tail after "int name": optional [size]
+// and optional initializer. The caller consumes the trailing semicolon.
+func (p *parser) parseVarRest(pos Pos, name string) (*VarDecl, error) {
+	d := &VarDecl{Pos: pos, Name: name}
+	if p.cur().Kind == TokLBracket {
+		p.advance()
+		d.IsArray = true
+		if p.cur().Kind != TokRBracket {
+			sz, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			d.SizeExpr = sz
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+	}
+	if p.cur().Kind == TokAssign {
+		p.advance()
+		if d.IsArray {
+			if _, err := p.expect(TokLBrace); err != nil {
+				return nil, err
+			}
+			for p.cur().Kind != TokRBrace {
+				e, err := p.parseCondExpr()
+				if err != nil {
+					return nil, err
+				}
+				d.InitList = append(d.InitList, e)
+				if p.cur().Kind == TokComma {
+					p.advance()
+					continue
+				}
+				break
+			}
+			if _, err := p.expect(TokRBrace); err != nil {
+				return nil, err
+			}
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = e
+		}
+	}
+	if d.IsArray && d.SizeExpr == nil && d.InitList == nil {
+		return nil, p.errorf(pos, "array %q needs a size or an initializer list", name)
+	}
+	return d, nil
+}
+
+func (p *parser) parseFuncRest(pos Pos, name string, returnsInt bool) (*FuncDecl, error) {
+	fd := &FuncDecl{Pos: pos, Name: name, ReturnsInt: returnsInt}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == TokVoid && p.la(1).Kind == TokRParen {
+		p.advance()
+	}
+	for p.cur().Kind != TokRParen {
+		if _, err := p.expect(TokInt); err != nil {
+			return nil, err
+		}
+		pn, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		param := &Param{Pos: pn.Pos, Name: pn.Text}
+		if p.cur().Kind == TokLBracket {
+			p.advance()
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			param.IsArray = true
+		}
+		fd.Params = append(fd.Params, param)
+		if p.cur().Kind == TokComma {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fd.Body = body
+	return fd, nil
+}
+
+func (p *parser) parseBlock() (*BlockStmt, error) {
+	lb, err := p.expect(TokLBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Pos: lb.Pos}
+	for p.cur().Kind != TokRBrace {
+		if p.cur().Kind == TokEOF {
+			return nil, p.errorf(lb.Pos, "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.advance()
+	return b, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokLBrace:
+		return p.parseBlock()
+	case TokInt:
+		p.advance()
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		d, err := p.parseVarRest(t.Pos, name.Text)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &DeclStmt{Decl: d}, nil
+	case TokIf:
+		p.advance()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		s := &IfStmt{Pos: t.Pos, Cond: cond, Then: then}
+		if p.cur().Kind == TokElse {
+			p.advance()
+			els, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = els
+		}
+		return s, nil
+	case TokWhile:
+		p.advance()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Pos: t.Pos, Cond: cond, Body: body}, nil
+	case TokDo:
+		p.advance()
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokWhile); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &DoWhileStmt{Pos: t.Pos, Body: body, Cond: cond}, nil
+	case TokFor:
+		return p.parseFor()
+	case TokBreak:
+		p.advance()
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: t.Pos}, nil
+	case TokContinue:
+		p.advance()
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: t.Pos}, nil
+	case TokReturn:
+		p.advance()
+		s := &ReturnStmt{Pos: t.Pos}
+		if p.cur().Kind != TokSemi {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.X = e
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case TokSemi:
+		p.advance()
+		return &BlockStmt{Pos: t.Pos}, nil
+	}
+	s, err := p.parseSimpleStmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (p *parser) parseFor() (Stmt, error) {
+	t := p.advance() // for
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	s := &ForStmt{Pos: t.Pos}
+	if p.cur().Kind != TokSemi {
+		if p.cur().Kind == TokInt {
+			dt := p.advance()
+			name, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			d, err := p.parseVarRest(dt.Pos, name.Text)
+			if err != nil {
+				return nil, err
+			}
+			s.Init = &DeclStmt{Decl: d}
+		} else {
+			init, err := p.parseSimpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = init
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokSemi {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokRParen {
+		post, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Post = post
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+var compoundOps = map[TokKind]bool{
+	TokAssign: true, TokPlusEq: true, TokMinusEq: true, TokStarEq: true,
+	TokSlashEq: true, TokPercentEq: true, TokShlEq: true, TokShrEq: true,
+	TokAmpEq: true, TokPipeEq: true, TokCaretEq: true,
+}
+
+// parseSimpleStmt parses an assignment, inc/dec, or expression statement
+// (without the trailing semicolon, so it is usable in for-headers).
+func (p *parser) parseSimpleStmt() (Stmt, error) {
+	t := p.cur()
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case compoundOps[p.cur().Kind]:
+		if !isLValue(lhs) {
+			return nil, p.errorf(t.Pos, "left side of assignment is not assignable")
+		}
+		op := p.advance().Kind
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Pos: t.Pos, LHS: lhs, Op: op, RHS: rhs}, nil
+	case p.cur().Kind == TokInc || p.cur().Kind == TokDec:
+		if !isLValue(lhs) {
+			return nil, p.errorf(t.Pos, "operand of %q is not assignable", p.cur().Kind.String())
+		}
+		dec := p.advance().Kind == TokDec
+		return &IncDecStmt{Pos: t.Pos, LHS: lhs, Dec: dec}, nil
+	default:
+		if _, ok := lhs.(*CallExpr); !ok {
+			return nil, p.errorf(t.Pos, "expression statement must be a call")
+		}
+		return &ExprStmt{Pos: t.Pos, X: lhs}, nil
+	}
+}
+
+func isLValue(e Expr) bool {
+	switch e.(type) {
+	case *Ident, *IndexExpr:
+		return true
+	}
+	return false
+}
+
+// Expression grammar, C precedence, via precedence climbing.
+
+var binPrec = map[TokKind]int{
+	TokOrOr:   1,
+	TokAndAnd: 2,
+	TokPipe:   3,
+	TokCaret:  4,
+	TokAmp:    5,
+	TokEq:     6, TokNe: 6,
+	TokLt: 7, TokGt: 7, TokLe: 7, TokGe: 7,
+	TokShl: 8, TokShr: 8,
+	TokPlus: 9, TokMinus: 9,
+	TokStar: 10, TokSlash: 10, TokPercent: 10,
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseCondExpr() }
+
+func (p *parser) parseCondExpr() (Expr, error) {
+	cond, err := p.parseBinary(1)
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokQuestion {
+		return cond, nil
+	}
+	qp := p.advance().Pos
+	t, err := p.parseCondExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokColon); err != nil {
+		return nil, err
+	}
+	f, err := p.parseCondExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &CondExpr{Pos: qp, Cond: cond, T: t, F: f}, nil
+}
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur().Kind
+		prec, ok := binPrec[op]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		pos := p.advance().Pos
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Pos: pos, Op: op, L: lhs, R: rhs}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokMinus, TokBang, TokTilde:
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos: t.Pos, Op: t.Kind, X: x}, nil
+	case TokPlus:
+		p.advance()
+		return p.parseUnary()
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokNumber:
+		p.advance()
+		return &IntLit{Pos: t.Pos, Val: t.Val}, nil
+	case TokLParen:
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokIdent:
+		p.advance()
+		switch p.cur().Kind {
+		case TokLParen:
+			p.advance()
+			call := &CallExpr{Pos: t.Pos, Name: t.Text}
+			for p.cur().Kind != TokRParen {
+				a, err := p.parseCondExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+				if p.cur().Kind == TokComma {
+					p.advance()
+					continue
+				}
+				break
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			return call, nil
+		case TokLBracket:
+			p.advance()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Pos: t.Pos, Arr: &Ident{Pos: t.Pos, Name: t.Text}, Index: idx}, nil
+		default:
+			return &Ident{Pos: t.Pos, Name: t.Text}, nil
+		}
+	}
+	return nil, p.errorf(t.Pos, "expected expression, found %q", t.Kind.String())
+}

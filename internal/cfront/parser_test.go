@@ -1,0 +1,163 @@
+package cfront
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := Parse("t.c", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return f
+}
+
+func parseErr(t *testing.T, src, wantSub string) {
+	t.Helper()
+	_, err := Parse("t.c", src)
+	if err == nil {
+		t.Fatalf("Parse succeeded, want error containing %q", wantSub)
+	}
+	if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("error %q does not contain %q", err.Error(), wantSub)
+	}
+}
+
+func TestParseGlobals(t *testing.T) {
+	f := mustParse(t, `
+int a;
+int b = 5;
+int c[4];
+int d[] = {1, 2, 3};
+int e[8] = {9};
+`)
+	if len(f.Decls) != 5 {
+		t.Fatalf("decls = %d, want 5", len(f.Decls))
+	}
+	d := f.Decls[3].(*VarDecl)
+	if !d.IsArray || len(d.InitList) != 3 || d.SizeExpr != nil {
+		t.Fatalf("d parsed wrong: %+v", d)
+	}
+}
+
+func TestParseFunction(t *testing.T) {
+	f := mustParse(t, `
+int add(int a, int b) { return a + b; }
+void run(int buf[], int n) {
+  int i;
+  for (i = 0; i < n; i++) { buf[i] = add(buf[i], i); }
+}
+`)
+	fn := f.Decls[1].(*FuncDecl)
+	if fn.Name != "run" || fn.ReturnsInt || len(fn.Params) != 2 {
+		t.Fatalf("run parsed wrong: %+v", fn)
+	}
+	if !fn.Params[0].IsArray || fn.Params[1].IsArray {
+		t.Fatalf("param kinds wrong: %+v", fn.Params)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	f := mustParse(t, `int x = 1 + 2 * 3;`)
+	d := f.Decls[0].(*VarDecl)
+	v, ok := EvalConst(d.Init)
+	if !ok || v != 7 {
+		t.Fatalf("1+2*3 = %d (ok=%v), want 7", v, ok)
+	}
+	cases := map[string]int32{
+		"2 + 3 * 4":         14,
+		"(2 + 3) * 4":       20,
+		"1 << 3 + 1":        16, // shift binds looser than +
+		"10 - 4 - 3":        3,  // left assoc
+		"1 | 2 ^ 3 & 2":     1,  // & then ^ then |
+		"4 > 3 == 1":        1,
+		"-2 * -3":           6,
+		"~0":                -1,
+		"!5":                0,
+		"1 ? 10 : 20":       10,
+		"0 ? 10 : 20":       20,
+		"1 && 0 || 1":       1,
+		"100 / 7":           14,
+		"100 % 7":           2,
+		"7 / 0":             0, // defined as 0 in the subset
+		"7 % 0":             0,
+		"-7 / 2":            -3, // truncated division
+		"1 ? 2 : 0 ? 3 : 4": 2,  // ?: right assoc
+	}
+	for src, want := range cases {
+		f := mustParse(t, "int x = "+src+";")
+		d := f.Decls[0].(*VarDecl)
+		v, ok := EvalConst(d.Init)
+		if !ok {
+			t.Errorf("%s: not const", src)
+			continue
+		}
+		if v != want {
+			t.Errorf("%s = %d, want %d", src, v, want)
+		}
+	}
+}
+
+func TestParseStatements(t *testing.T) {
+	f := mustParse(t, `
+void f(int n) {
+  int i = 0;
+  while (i < n) { i += 2; }
+  do { i--; } while (i > 0);
+  if (i == 0) { out(1); } else out(0);
+  for (;;) { break; }
+  for (i = 0; i < 4; i++) continue;
+  ;
+}
+`)
+	fn := f.Decls[0].(*FuncDecl)
+	if len(fn.Body.Stmts) != 7 {
+		t.Fatalf("stmts = %d, want 7", len(fn.Body.Stmts))
+	}
+	if _, ok := fn.Body.Stmts[2].(*DoWhileStmt); !ok {
+		t.Fatalf("stmt 2 = %T, want DoWhileStmt", fn.Body.Stmts[2])
+	}
+	forever := fn.Body.Stmts[4].(*ForStmt)
+	if forever.Init != nil || forever.Cond != nil || forever.Post != nil {
+		t.Fatalf("for(;;) parsed wrong: %+v", forever)
+	}
+}
+
+func TestParseCompoundAssignOps(t *testing.T) {
+	ops := []string{"+=", "-=", "*=", "/=", "%=", "<<=", ">>=", "&=", "|=", "^="}
+	for _, op := range ops {
+		mustParse(t, "void f() { int x; x "+op+" 3; }")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	parseErr(t, "int f( {", "expected")
+	parseErr(t, "void x;", "cannot have type void")
+	parseErr(t, "int a[];", "needs a size")
+	parseErr(t, "void f() { 1 + 2; }", "must be a call")
+	parseErr(t, "void f() { x = ; }", "expected expression")
+	parseErr(t, "void f() { if (1) }", "expected expression")
+	parseErr(t, "void f() {", "unterminated block")
+	parseErr(t, "void f() { 5 = x; }", "not assignable")
+	parseErr(t, "void f() { break }", "expected")
+}
+
+func TestParseArrayIndexAndCallExprs(t *testing.T) {
+	f := mustParse(t, `
+int g(int v) { return v; }
+void f(int a[]) {
+  a[a[0] + 1] = g(a[2]) * 3;
+}
+`)
+	fn := f.Decls[1].(*FuncDecl)
+	asn := fn.Body.Stmts[0].(*AssignStmt)
+	idx, ok := asn.LHS.(*IndexExpr)
+	if !ok {
+		t.Fatalf("LHS = %T, want IndexExpr", asn.LHS)
+	}
+	if _, ok := idx.Index.(*BinaryExpr); !ok {
+		t.Fatalf("nested index = %T, want BinaryExpr", idx.Index)
+	}
+}

@@ -1,0 +1,146 @@
+package cfront
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParserNeverPanics feeds arbitrary byte soup and mutated valid
+// programs through the front end: errors are fine, panics are not.
+func TestParserNeverPanics(t *testing.T) {
+	base := `
+int tab[4] = {1, 2, 3, 4};
+int f(int a, int b) { return a * b + tab[a & 3]; }
+void main() {
+  int i;
+  for (i = 0; i < 4; i++) out(f(i, i + 1));
+}`
+	mutate := func(src string, pos uint16, ch byte) string {
+		if len(src) == 0 {
+			return src
+		}
+		p := int(pos) % len(src)
+		return src[:p] + string(ch) + src[p+1:]
+	}
+	f := func(raw []byte, pos uint16, ch byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("front end panicked: %v", r)
+			}
+		}()
+		// Raw bytes.
+		if fl, err := Parse("fuzz.c", string(raw)); err == nil {
+			Check(fl) //nolint:errcheck
+		}
+		// Single-byte mutations of a valid program.
+		src := mutate(base, pos, ch)
+		if fl, err := Parse("fuzz.c", src); err == nil {
+			Check(fl) //nolint:errcheck
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestErrorMessagesCarryPositions: every front-end diagnostic must point
+// at a file:line:col location.
+func TestErrorMessagesCarryPositions(t *testing.T) {
+	cases := []string{
+		"int x = ;",
+		"void f() { y = 1; }",
+		"void f() { if }",
+		"int a[0];",
+		"void f() { out(1, 2); }",
+		"int f() { return; }",
+	}
+	for _, src := range cases {
+		var err error
+		fl, perr := Parse("diag.c", src)
+		if perr != nil {
+			err = perr
+		} else {
+			_, err = Check(fl)
+		}
+		if err == nil {
+			t.Errorf("%q: expected a diagnostic", src)
+			continue
+		}
+		if !strings.HasPrefix(err.Error(), "diag.c:") {
+			t.Errorf("%q: diagnostic %q lacks position", src, err)
+		}
+	}
+}
+
+// TestDeeplyNestedExpressions: heavy nesting must parse (recursive descent
+// depth) and fold correctly.
+func TestDeeplyNestedExpressions(t *testing.T) {
+	depth := 200
+	expr := strings.Repeat("(1+", depth) + "1" + strings.Repeat(")", depth)
+	src := "int x = " + expr + ";"
+	fl, err := Parse("deep.c", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	u, err := Check(fl)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if got := u.Globals[0].InitVals[0]; got != int32(depth+1) {
+		t.Fatalf("folded to %d, want %d", got, depth+1)
+	}
+}
+
+// TestLongOperatorChains: left-associative chains of every operator.
+func TestLongOperatorChains(t *testing.T) {
+	for _, op := range []string{"+", "-", "*", "|", "^", "&"} {
+		parts := make([]string, 60)
+		for i := range parts {
+			parts[i] = "1"
+		}
+		src := "int x = " + strings.Join(parts, op) + ";"
+		if _, err := Parse("chain.c", src); err != nil {
+			t.Errorf("chain of %q: %v", op, err)
+		}
+	}
+}
+
+// TestManyDeclarations: wide programs scale.
+func TestManyDeclarations(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 300; i++ {
+		sb.WriteString("int g")
+		sb.WriteString(itoa(i))
+		sb.WriteString(" = ")
+		sb.WriteString(itoa(i))
+		sb.WriteString(";\n")
+	}
+	sb.WriteString("void main() { out(g299); }\n")
+	fl, err := Parse("wide.c", sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := Check(fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Globals) != 300 {
+		t.Fatalf("globals = %d", len(u.Globals))
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

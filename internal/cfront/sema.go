@@ -1,0 +1,583 @@
+package cfront
+
+import "fmt"
+
+// SymKind classifies symbols.
+type SymKind int
+
+const (
+	SymGlobal SymKind = iota
+	SymLocal
+	SymParam
+	SymFunc
+)
+
+// Symbol is a resolved program entity. Lowering assigns storage via Index.
+type Symbol struct {
+	Kind     SymKind
+	Name     string
+	IsArray  bool
+	Size     int32   // array length; 0 for unsized array params
+	InitVals []int32 // resolved initializer (globals and locals)
+	HasInit  bool
+	Func     *FuncDecl // for SymFunc
+	Index    int       // storage slot, assigned by the lowering phase
+}
+
+// Intrinsic names recognized by the front end. They are reserved and cannot
+// be redefined by the program.
+const (
+	IntrinsicSend = "send" // send(ch, arr, n): write n words of arr to channel ch
+	IntrinsicRecv = "recv" // recv(ch, arr, n): read n words from channel ch into arr
+	IntrinsicOut  = "out"  // out(v): append v to the process output stream
+)
+
+// Unit is a checked translation unit ready for lowering.
+type Unit struct {
+	File    *File
+	Globals []*Symbol
+	Funcs   []*FuncDecl
+	FuncMap map[string]*FuncDecl
+}
+
+// Check resolves names, enforces the subset's typing rules and evaluates
+// constant initializers. On success every Ident/CallExpr in the AST carries
+// its Symbol.
+func Check(f *File) (*Unit, error) {
+	c := &checker{
+		file:    f.Name,
+		unit:    &Unit{File: f, FuncMap: make(map[string]*FuncDecl)},
+		globals: make(map[string]*Symbol),
+	}
+	// Pass 1: collect globals and function signatures so that forward calls
+	// and uses resolve.
+	for _, d := range f.Decls {
+		switch d := d.(type) {
+		case *VarDecl:
+			if err := c.declareGlobal(d); err != nil {
+				return nil, err
+			}
+		case *FuncDecl:
+			if err := c.declareFunc(d); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Pass 2: check function bodies.
+	for _, fn := range c.unit.Funcs {
+		if err := c.checkFunc(fn); err != nil {
+			return nil, err
+		}
+	}
+	return c.unit, nil
+}
+
+type checker struct {
+	file    string
+	unit    *Unit
+	globals map[string]*Symbol
+	scopes  []map[string]*Symbol
+	fn      *FuncDecl
+	loops   int
+}
+
+func (c *checker) errorf(p Pos, format string, args ...any) error {
+	return &Error{File: c.file, Pos: p, Msg: fmt.Sprintf(format, args...)}
+}
+
+func isIntrinsic(name string) bool {
+	return name == IntrinsicSend || name == IntrinsicRecv || name == IntrinsicOut
+}
+
+func (c *checker) declareGlobal(d *VarDecl) error {
+	if isIntrinsic(d.Name) {
+		return c.errorf(d.Pos, "%q is a reserved intrinsic name", d.Name)
+	}
+	if _, dup := c.globals[d.Name]; dup {
+		return c.errorf(d.Pos, "redeclaration of global %q", d.Name)
+	}
+	sym, err := c.resolveVarDecl(d, SymGlobal)
+	if err != nil {
+		return err
+	}
+	c.globals[d.Name] = sym
+	c.unit.Globals = append(c.unit.Globals, sym)
+	return nil
+}
+
+// resolveVarDecl evaluates size and initializer and builds the Symbol.
+// Initializers of globals and of locals alike must be compile-time constant;
+// this keeps every execution engine's startup identical.
+func (c *checker) resolveVarDecl(d *VarDecl, kind SymKind) (*Symbol, error) {
+	sym := &Symbol{Kind: kind, Name: d.Name, IsArray: d.IsArray}
+	if d.IsArray {
+		if d.SizeExpr != nil {
+			n, ok := EvalConst(d.SizeExpr)
+			if !ok {
+				return nil, c.errorf(d.SizeExpr.NodePos(), "array size of %q is not a constant expression", d.Name)
+			}
+			if n <= 0 {
+				return nil, c.errorf(d.SizeExpr.NodePos(), "array size of %q must be positive, got %d", d.Name, n)
+			}
+			sym.Size = n
+		} else {
+			sym.Size = int32(len(d.InitList))
+		}
+		if d.InitList != nil {
+			if int32(len(d.InitList)) > sym.Size {
+				return nil, c.errorf(d.Pos, "too many initializers for %q: %d > %d", d.Name, len(d.InitList), sym.Size)
+			}
+			sym.HasInit = true
+			sym.InitVals = make([]int32, sym.Size)
+			for i, e := range d.InitList {
+				v, ok := EvalConst(e)
+				if !ok {
+					return nil, c.errorf(e.NodePos(), "initializer %d of %q is not a constant expression", i, d.Name)
+				}
+				sym.InitVals[i] = v
+			}
+		}
+	} else if d.Init != nil {
+		v, ok := EvalConst(d.Init)
+		switch {
+		case ok:
+			sym.HasInit = true
+			sym.InitVals = []int32{v}
+		case kind == SymGlobal:
+			return nil, c.errorf(d.Init.NodePos(), "initializer of %q is not a constant expression", d.Name)
+		default:
+			// Local scalars may be initialized with arbitrary expressions;
+			// the lowering turns the initializer into an assignment. The
+			// expression is checked before the name is declared, so it sees
+			// the enclosing scope (no self-reference).
+			if err := c.checkScalarExpr(d.Init); err != nil {
+				return nil, err
+			}
+		}
+	}
+	d.Sym = sym
+	return sym, nil
+}
+
+func (c *checker) declareFunc(d *FuncDecl) error {
+	if isIntrinsic(d.Name) {
+		return c.errorf(d.Pos, "%q is a reserved intrinsic name", d.Name)
+	}
+	if _, dup := c.unit.FuncMap[d.Name]; dup {
+		return c.errorf(d.Pos, "redefinition of function %q", d.Name)
+	}
+	if _, dup := c.globals[d.Name]; dup {
+		return c.errorf(d.Pos, "%q already declared as a global", d.Name)
+	}
+	d.Sym = &Symbol{Kind: SymFunc, Name: d.Name, Func: d}
+	c.unit.FuncMap[d.Name] = d
+	c.unit.Funcs = append(c.unit.Funcs, d)
+	return nil
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, make(map[string]*Symbol)) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declareLocal(p Pos, sym *Symbol) error {
+	if isIntrinsic(sym.Name) {
+		return c.errorf(p, "%q is a reserved intrinsic name", sym.Name)
+	}
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[sym.Name]; dup {
+		return c.errorf(p, "redeclaration of %q in the same scope", sym.Name)
+	}
+	top[sym.Name] = sym
+	return nil
+}
+
+func (c *checker) lookup(name string) *Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return c.globals[name]
+}
+
+func (c *checker) checkFunc(fn *FuncDecl) error {
+	c.fn = fn
+	c.loops = 0
+	c.pushScope()
+	defer c.popScope()
+	for _, p := range fn.Params {
+		sym := &Symbol{Kind: SymParam, Name: p.Name, IsArray: p.IsArray}
+		if err := c.declareLocal(p.Pos, sym); err != nil {
+			return err
+		}
+		p.Sym = sym
+	}
+	return c.checkBlock(fn.Body)
+}
+
+func (c *checker) checkBlock(b *BlockStmt) error {
+	c.pushScope()
+	defer c.popScope()
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch s := s.(type) {
+	case *BlockStmt:
+		return c.checkBlock(s)
+	case *DeclStmt:
+		sym, err := c.resolveVarDecl(s.Decl, SymLocal)
+		if err != nil {
+			return err
+		}
+		return c.declareLocal(s.Decl.Pos, sym)
+	case *AssignStmt:
+		if err := c.checkLValue(s.LHS); err != nil {
+			return err
+		}
+		return c.checkScalarExpr(s.RHS)
+	case *IncDecStmt:
+		return c.checkLValue(s.LHS)
+	case *ExprStmt:
+		call, ok := s.X.(*CallExpr)
+		if !ok {
+			return c.errorf(s.Pos, "expression statement must be a call")
+		}
+		return c.checkCall(call, true)
+	case *IfStmt:
+		if err := c.checkScalarExpr(s.Cond); err != nil {
+			return err
+		}
+		if err := c.checkStmt(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return c.checkStmt(s.Else)
+		}
+		return nil
+	case *WhileStmt:
+		if err := c.checkScalarExpr(s.Cond); err != nil {
+			return err
+		}
+		c.loops++
+		defer func() { c.loops-- }()
+		return c.checkStmt(s.Body)
+	case *DoWhileStmt:
+		c.loops++
+		if err := c.checkStmt(s.Body); err != nil {
+			c.loops--
+			return err
+		}
+		c.loops--
+		return c.checkScalarExpr(s.Cond)
+	case *ForStmt:
+		c.pushScope()
+		defer c.popScope()
+		if s.Init != nil {
+			if err := c.checkStmt(s.Init); err != nil {
+				return err
+			}
+		}
+		if s.Cond != nil {
+			if err := c.checkScalarExpr(s.Cond); err != nil {
+				return err
+			}
+		}
+		if s.Post != nil {
+			if err := c.checkStmt(s.Post); err != nil {
+				return err
+			}
+		}
+		c.loops++
+		defer func() { c.loops-- }()
+		return c.checkStmt(s.Body)
+	case *BreakStmt:
+		if c.loops == 0 {
+			return c.errorf(s.Pos, "break outside loop")
+		}
+		return nil
+	case *ContinueStmt:
+		if c.loops == 0 {
+			return c.errorf(s.Pos, "continue outside loop")
+		}
+		return nil
+	case *ReturnStmt:
+		if c.fn.ReturnsInt && s.X == nil {
+			return c.errorf(s.Pos, "function %q must return a value", c.fn.Name)
+		}
+		if !c.fn.ReturnsInt && s.X != nil {
+			return c.errorf(s.Pos, "void function %q cannot return a value", c.fn.Name)
+		}
+		if s.X != nil {
+			return c.checkScalarExpr(s.X)
+		}
+		return nil
+	}
+	return c.errorf(s.NodePos(), "internal: unknown statement %T", s)
+}
+
+func (c *checker) checkLValue(e Expr) error {
+	switch e := e.(type) {
+	case *Ident:
+		sym := c.lookup(e.Name)
+		if sym == nil {
+			return c.errorf(e.Pos, "undefined variable %q", e.Name)
+		}
+		if sym.Kind == SymFunc {
+			return c.errorf(e.Pos, "cannot assign to function %q", e.Name)
+		}
+		if sym.IsArray {
+			return c.errorf(e.Pos, "cannot assign to array %q as a whole", e.Name)
+		}
+		e.Sym = sym
+		return nil
+	case *IndexExpr:
+		return c.checkIndex(e)
+	}
+	return c.errorf(e.NodePos(), "not an lvalue")
+}
+
+func (c *checker) checkIndex(e *IndexExpr) error {
+	sym := c.lookup(e.Arr.Name)
+	if sym == nil {
+		return c.errorf(e.Pos, "undefined variable %q", e.Arr.Name)
+	}
+	if !sym.IsArray {
+		return c.errorf(e.Pos, "%q is not an array", e.Arr.Name)
+	}
+	e.Arr.Sym = sym
+	return c.checkScalarExpr(e.Index)
+}
+
+// checkScalarExpr checks an expression that must yield an int value.
+func (c *checker) checkScalarExpr(e Expr) error {
+	switch e := e.(type) {
+	case *IntLit:
+		return nil
+	case *Ident:
+		sym := c.lookup(e.Name)
+		if sym == nil {
+			return c.errorf(e.Pos, "undefined variable %q", e.Name)
+		}
+		if sym.Kind == SymFunc {
+			return c.errorf(e.Pos, "function %q used as a value", e.Name)
+		}
+		if sym.IsArray {
+			return c.errorf(e.Pos, "array %q used as a scalar value", e.Name)
+		}
+		e.Sym = sym
+		return nil
+	case *IndexExpr:
+		return c.checkIndex(e)
+	case *CallExpr:
+		return c.checkCall(e, false)
+	case *UnaryExpr:
+		return c.checkScalarExpr(e.X)
+	case *BinaryExpr:
+		if err := c.checkScalarExpr(e.L); err != nil {
+			return err
+		}
+		return c.checkScalarExpr(e.R)
+	case *CondExpr:
+		if err := c.checkScalarExpr(e.Cond); err != nil {
+			return err
+		}
+		if err := c.checkScalarExpr(e.T); err != nil {
+			return err
+		}
+		return c.checkScalarExpr(e.F)
+	}
+	return c.errorf(e.NodePos(), "internal: unknown expression %T", e)
+}
+
+// checkCall checks user calls and intrinsics. stmtCtx reports whether the
+// call result is discarded (expression statement position).
+func (c *checker) checkCall(e *CallExpr, stmtCtx bool) error {
+	switch e.Name {
+	case IntrinsicSend, IntrinsicRecv:
+		if !stmtCtx {
+			return c.errorf(e.Pos, "%s(...) can only be used as a statement", e.Name)
+		}
+		if len(e.Args) != 3 {
+			return c.errorf(e.Pos, "%s expects 3 arguments (channel, array, count)", e.Name)
+		}
+		if _, ok := EvalConst(e.Args[0]); !ok {
+			return c.errorf(e.Args[0].NodePos(), "%s channel id must be a constant expression", e.Name)
+		}
+		if err := c.checkArrayArg(e, 1); err != nil {
+			return err
+		}
+		return c.checkScalarExpr(e.Args[2])
+	case IntrinsicOut:
+		if !stmtCtx {
+			return c.errorf(e.Pos, "out(...) can only be used as a statement")
+		}
+		if len(e.Args) != 1 {
+			return c.errorf(e.Pos, "out expects 1 argument")
+		}
+		return c.checkScalarExpr(e.Args[0])
+	}
+	fn, ok := c.unit.FuncMap[e.Name]
+	if !ok {
+		return c.errorf(e.Pos, "call to undefined function %q", e.Name)
+	}
+	e.Sym = fn.Sym
+	if !fn.ReturnsInt && !stmtCtx {
+		return c.errorf(e.Pos, "void function %q used as a value", e.Name)
+	}
+	if len(e.Args) != len(fn.Params) {
+		return c.errorf(e.Pos, "call to %q has %d arguments, want %d", e.Name, len(e.Args), len(fn.Params))
+	}
+	for i, a := range e.Args {
+		if fn.Params[i].IsArray {
+			id, ok := a.(*Ident)
+			if !ok {
+				return c.errorf(a.NodePos(), "argument %d of %q must be an array name", i+1, e.Name)
+			}
+			sym := c.lookup(id.Name)
+			if sym == nil {
+				return c.errorf(id.Pos, "undefined variable %q", id.Name)
+			}
+			if !sym.IsArray {
+				return c.errorf(id.Pos, "argument %d of %q must be an array, %q is a scalar", i+1, e.Name, id.Name)
+			}
+			id.Sym = sym
+		} else {
+			if err := c.checkScalarExpr(a); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkArrayArg(e *CallExpr, i int) error {
+	id, ok := e.Args[i].(*Ident)
+	if !ok {
+		return c.errorf(e.Args[i].NodePos(), "%s argument %d must be an array name", e.Name, i+1)
+	}
+	sym := c.lookup(id.Name)
+	if sym == nil {
+		return c.errorf(id.Pos, "undefined variable %q", id.Name)
+	}
+	if !sym.IsArray {
+		return c.errorf(id.Pos, "%s argument %d must be an array, %q is a scalar", e.Name, i+1, id.Name)
+	}
+	id.Sym = sym
+	return nil
+}
+
+// EvalConst evaluates an expression made only of literals and pure operators
+// to a constant, mirroring the subset's 32-bit wrap-around semantics.
+func EvalConst(e Expr) (int32, bool) {
+	switch e := e.(type) {
+	case *IntLit:
+		return e.Val, true
+	case *UnaryExpr:
+		v, ok := EvalConst(e.X)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op {
+		case TokMinus:
+			return -v, true
+		case TokBang:
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		case TokTilde:
+			return ^v, true
+		}
+		return 0, false
+	case *BinaryExpr:
+		l, ok := EvalConst(e.L)
+		if !ok {
+			return 0, false
+		}
+		// Short-circuit operators still fold eagerly here: both sides are
+		// constant and side-effect free.
+		r, ok := EvalConst(e.R)
+		if !ok {
+			return 0, false
+		}
+		return FoldBinary(e.Op, l, r), true
+	case *CondExpr:
+		cv, ok := EvalConst(e.Cond)
+		if !ok {
+			return 0, false
+		}
+		if cv != 0 {
+			return EvalConst(e.T)
+		}
+		return EvalConst(e.F)
+	}
+	return 0, false
+}
+
+// FoldBinary applies a binary operator with the subset's defined semantics:
+// 32-bit wrap-around arithmetic, shifts masked to 5 bits, comparisons and
+// logical operators producing 0/1, and division/remainder by zero yielding 0.
+func FoldBinary(op TokKind, l, r int32) int32 {
+	b2i := func(b bool) int32 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case TokPlus:
+		return l + r
+	case TokMinus:
+		return l - r
+	case TokStar:
+		return l * r
+	case TokSlash:
+		if r == 0 {
+			return 0
+		}
+		if l == -2147483648 && r == -1 {
+			return l // wrap like the hardware would
+		}
+		return l / r
+	case TokPercent:
+		if r == 0 {
+			return 0
+		}
+		if l == -2147483648 && r == -1 {
+			return 0
+		}
+		return l % r
+	case TokShl:
+		return l << (uint32(r) & 31)
+	case TokShr:
+		return l >> (uint32(r) & 31) // arithmetic shift
+	case TokAmp:
+		return l & r
+	case TokPipe:
+		return l | r
+	case TokCaret:
+		return l ^ r
+	case TokEq:
+		return b2i(l == r)
+	case TokNe:
+		return b2i(l != r)
+	case TokLt:
+		return b2i(l < r)
+	case TokLe:
+		return b2i(l <= r)
+	case TokGt:
+		return b2i(l > r)
+	case TokGe:
+		return b2i(l >= r)
+	case TokAndAnd:
+		return b2i(l != 0 && r != 0)
+	case TokOrOr:
+		return b2i(l != 0 || r != 0)
+	}
+	return 0
+}

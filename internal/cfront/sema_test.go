@@ -1,0 +1,141 @@
+package cfront
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustCheck(t *testing.T, src string) *Unit {
+	t.Helper()
+	f := mustParse(t, src)
+	u, err := Check(f)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	return u
+}
+
+func checkErr(t *testing.T, src, wantSub string) {
+	t.Helper()
+	f, err := Parse("t.c", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if _, err = Check(f); err == nil {
+		t.Fatalf("Check succeeded, want error containing %q", wantSub)
+	} else if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("error %q does not contain %q", err.Error(), wantSub)
+	}
+}
+
+func TestCheckResolvesSymbols(t *testing.T) {
+	u := mustCheck(t, `
+int g = 3;
+int tab[4] = {1, 2, 3, 4};
+int f(int x) { return x + g + tab[x]; }
+void main() { out(f(1)); }
+`)
+	if len(u.Globals) != 2 || len(u.Funcs) != 2 {
+		t.Fatalf("globals=%d funcs=%d", len(u.Globals), len(u.Funcs))
+	}
+	if u.Globals[0].InitVals[0] != 3 || !u.Globals[0].HasInit {
+		t.Fatalf("g init = %+v", u.Globals[0])
+	}
+	if u.Globals[1].Size != 4 || u.Globals[1].InitVals[2] != 3 {
+		t.Fatalf("tab = %+v", u.Globals[1])
+	}
+}
+
+func TestCheckScopes(t *testing.T) {
+	mustCheck(t, `
+void f() {
+  int x = 1;
+  { int x = 2; out(x); }
+  out(x);
+}
+`)
+	checkErr(t, "void f() { int x; int x; }", "redeclaration")
+	checkErr(t, "void f() { out(y); }", "undefined variable")
+	// A for-init declaration is scoped to the loop.
+	checkErr(t, "void f() { for (int i = 0; i < 3; i++) {} out(i); }", "undefined variable")
+}
+
+func TestCheckArrayRules(t *testing.T) {
+	checkErr(t, "int a[2]; void f() { a = 3; }", "cannot assign to array")
+	checkErr(t, "int x; void f() { x[0] = 3; }", "is not an array")
+	checkErr(t, "int a[2]; void f() { out(a); }", "used as a scalar")
+	checkErr(t, "int a[2] = {1,2,3};", "too many initializers")
+	checkErr(t, "int a[0];", "must be positive")
+	checkErr(t, "int n; int a[n];", "not a constant")
+	mustCheck(t, "int a[2+2*2]; void f() { a[5] = 1; }")
+}
+
+func TestCheckCalls(t *testing.T) {
+	checkErr(t, "void f() { g(); }", "undefined function")
+	checkErr(t, "int g(int a) { return a; } void f() { g(); }", "has 0 arguments, want 1")
+	checkErr(t, "void g() {} void f() { out(g()); }", "used as a value")
+	checkErr(t, "void g(int a[]) {} void f() { g(3); }", "must be an array name")
+	checkErr(t, "void g(int a) {} int b[2]; void f() { g(b); }", "used as a scalar")
+	mustCheck(t, "int b[2]; void g(int a[]) { a[0] = 1; } void f() { g(b); }")
+	// Local array passed by reference.
+	mustCheck(t, "void g(int a[]) { a[0] = 1; } void f() { int b[2]; g(b); }")
+}
+
+func TestCheckIntrinsics(t *testing.T) {
+	mustCheck(t, "int b[4]; void f() { recv(0, b, 4); send(1, b, 4); out(b[0]); }")
+	checkErr(t, "void f() { send(0); }", "expects 3 arguments")
+	checkErr(t, "int x; void f() { send(0, x, 1); }", "must be an array")
+	checkErr(t, "int b[2]; int ch; void f() { send(ch, b, 1); }", "must be a constant")
+	checkErr(t, "int b[2]; void f() { out(send(0, b, 1)); }", "as a statement")
+	checkErr(t, "void f() { out(1, 2); }", "expects 1 argument")
+	checkErr(t, "int send;", "reserved intrinsic")
+	checkErr(t, "void out() {}", "reserved intrinsic")
+	checkErr(t, "void f() { int recv; }", "reserved intrinsic")
+}
+
+func TestCheckReturns(t *testing.T) {
+	checkErr(t, "int f() { return; }", "must return a value")
+	checkErr(t, "void f() { return 3; }", "cannot return a value")
+	mustCheck(t, "int f() { return 3; } void g() { return; }")
+}
+
+func TestCheckBreakContinueOutsideLoop(t *testing.T) {
+	checkErr(t, "void f() { break; }", "outside loop")
+	checkErr(t, "void f() { continue; }", "outside loop")
+	mustCheck(t, "void f() { while (1) { if (1) break; continue; } }")
+}
+
+func TestCheckDuplicateDecls(t *testing.T) {
+	checkErr(t, "int x; int x;", "redeclaration of global")
+	checkErr(t, "void f() {} void f() {}", "redefinition of function")
+	checkErr(t, "int f; void f() {}", "already declared as a global")
+}
+
+func TestCheckLocalInit(t *testing.T) {
+	// Local scalars may use arbitrary initializer expressions...
+	mustCheck(t, "void f(int n) { int x = n * 2; out(x); }")
+	// ...but they are checked against the enclosing scope.
+	checkErr(t, "void f() { int x = y; }", "undefined variable")
+	// Globals and local arrays still require constants.
+	checkErr(t, "int n; int g2 = n;", "not a constant")
+	checkErr(t, "void f(int n) { int a[2] = {n, 0}; }", "not a constant")
+	mustCheck(t, "void f() { int x = 3 * 4; int a[2] = {1, 2}; }")
+}
+
+func TestFoldBinaryEdgeCases(t *testing.T) {
+	if got := FoldBinary(TokSlash, -2147483648, -1); got != -2147483648 {
+		t.Errorf("INT_MIN / -1 = %d, want wrap to INT_MIN", got)
+	}
+	if got := FoldBinary(TokPercent, -2147483648, -1); got != 0 {
+		t.Errorf("INT_MIN %% -1 = %d, want 0", got)
+	}
+	if got := FoldBinary(TokShl, 1, 33); got != 2 {
+		t.Errorf("1 << 33 = %d, want 2 (5-bit mask)", got)
+	}
+	if got := FoldBinary(TokShr, -8, 1); got != -4 {
+		t.Errorf("-8 >> 1 = %d, want -4 (arithmetic)", got)
+	}
+	if got := FoldBinary(TokStar, 2147483647, 2); got != -2 {
+		t.Errorf("INT_MAX * 2 = %d, want -2 (wrap)", got)
+	}
+}

@@ -1,0 +1,130 @@
+package cfront
+
+import "fmt"
+
+// Pos is a source position, 1-based.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// TokKind enumerates token kinds of the C subset.
+type TokKind int
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+
+	// Keywords.
+	TokInt
+	TokVoid
+	TokIf
+	TokElse
+	TokWhile
+	TokDo
+	TokFor
+	TokBreak
+	TokContinue
+	TokReturn
+
+	// Punctuation.
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokComma
+	TokSemi
+
+	// Operators.
+	TokAssign    // =
+	TokPlus      // +
+	TokMinus     // -
+	TokStar      // *
+	TokSlash     // /
+	TokPercent   // %
+	TokShl       // <<
+	TokShr       // >>
+	TokAmp       // &
+	TokPipe      // |
+	TokCaret     // ^
+	TokTilde     // ~
+	TokBang      // !
+	TokLt        // <
+	TokGt        // >
+	TokLe        // <=
+	TokGe        // >=
+	TokEq        // ==
+	TokNe        // !=
+	TokAndAnd    // &&
+	TokOrOr      // ||
+	TokQuestion  // ?
+	TokColon     // :
+	TokPlusEq    // +=
+	TokMinusEq   // -=
+	TokStarEq    // *=
+	TokSlashEq   // /=
+	TokPercentEq // %=
+	TokShlEq     // <<=
+	TokShrEq     // >>=
+	TokAmpEq     // &=
+	TokPipeEq    // |=
+	TokCaretEq   // ^=
+	TokInc       // ++
+	TokDec       // --
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokNumber: "number",
+	TokInt: "int", TokVoid: "void", TokIf: "if", TokElse: "else",
+	TokWhile: "while", TokDo: "do", TokFor: "for", TokBreak: "break",
+	TokContinue: "continue", TokReturn: "return",
+	TokLParen: "(", TokRParen: ")", TokLBrace: "{", TokRBrace: "}",
+	TokLBracket: "[", TokRBracket: "]", TokComma: ",", TokSemi: ";",
+	TokAssign: "=", TokPlus: "+", TokMinus: "-", TokStar: "*",
+	TokSlash: "/", TokPercent: "%", TokShl: "<<", TokShr: ">>",
+	TokAmp: "&", TokPipe: "|", TokCaret: "^", TokTilde: "~",
+	TokBang: "!", TokLt: "<", TokGt: ">", TokLe: "<=", TokGe: ">=",
+	TokEq: "==", TokNe: "!=", TokAndAnd: "&&", TokOrOr: "||",
+	TokQuestion: "?", TokColon: ":",
+	TokPlusEq: "+=", TokMinusEq: "-=", TokStarEq: "*=", TokSlashEq: "/=",
+	TokPercentEq: "%=", TokShlEq: "<<=", TokShrEq: ">>=",
+	TokAmpEq: "&=", TokPipeEq: "|=", TokCaretEq: "^=",
+	TokInc: "++", TokDec: "--",
+}
+
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokKind(%d)", int(k))
+}
+
+var keywords = map[string]TokKind{
+	"int": TokInt, "void": TokVoid, "if": TokIf, "else": TokElse,
+	"while": TokWhile, "do": TokDo, "for": TokFor, "break": TokBreak,
+	"continue": TokContinue, "return": TokReturn,
+}
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Val  int32 // for TokNumber
+	Pos  Pos
+}
+
+// Error is a front-end diagnostic carrying a source position.
+type Error struct {
+	File string
+	Pos  Pos
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s:%s: %s", e.File, e.Pos, e.Msg)
+}

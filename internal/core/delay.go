@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math"
+
+	"ese/internal/cdfg"
+	"ese/internal/pum"
+)
+
+// Estimate is the decomposed delay estimate of one basic block, in PE
+// cycles. Total is the rounded sum, as Algorithm 2 returns it.
+type Estimate struct {
+	Sched     int     // Algorithm 1 optimistic scheduling delay
+	BranchPen float64 // statistical branch misprediction penalty
+	IDelay    float64 // statistical instruction-fetch delay
+	DDelay    float64 // statistical data-access delay
+	Ops       int     // "# of BB Ops"
+	Operands  int     // "# of BB Operands" (data-memory operand accesses)
+	Total     float64 // round(Sched + BranchPen + IDelay + DDelay)
+}
+
+// Detail selects which PUM sub-models participate in BlockDelay. The full
+// model is the paper's Algorithm 2; the reduced settings implement the
+// PUM-detail ablation (scheduling only, +memory, +branch).
+type Detail struct {
+	Memory bool
+	Branch bool
+	// PipelineOverlap enables an extension beyond the paper: Algorithm 1
+	// schedules every block from an empty pipeline, so each block pays the
+	// pipeline fill and the final issue iteration even though consecutive
+	// blocks overlap on real in-order hardware. With this flag the fill
+	// cost (pipeline depth) is subtracted from each block's schedule,
+	// clamped at the block's issue-bound lower limit. This markedly
+	// improves accuracy on branchy code with small basic blocks (see
+	// ablation A5) at the cost of deviating from the paper's pseudocode.
+	PipelineOverlap bool
+}
+
+// FullDetail applies every sub-model, as the paper does.
+var FullDetail = Detail{Memory: true, Branch: true}
+
+// OverlapDetail is FullDetail plus the pipeline-overlap compensation
+// extension.
+var OverlapDetail = Detail{Memory: true, Branch: true, PipelineOverlap: true}
+
+// BlockDelay computes the estimated delay of one basic block on the PUM —
+// Algorithm 2 of the paper. The optimistic scheduling delay is extended
+// with the statistical branch misprediction penalty (for pipelined PEs, on
+// blocks ending in a conditional branch) and the statistical i-cache and
+// d-cache delays.
+func BlockDelay(b *cdfg.Block, p *pum.PUM, detail Detail) Estimate {
+	d := cdfg.BuildDFG(b)
+	e := Estimate{
+		Sched:    Schedule(d, p),
+		Ops:      cdfg.NumOps(b),
+		Operands: cdfg.BlockMemOperands(b),
+	}
+	if detail.PipelineOverlap && e.Ops > 0 {
+		// Remove the per-block pipeline fill that back-to-back execution
+		// hides, but never go below the issue-rate lower bound.
+		fill := len(p.Pipelines[0].Stages)
+		width := 0
+		for _, pl := range p.Pipelines {
+			width += pl.IssueWidth
+		}
+		floor := (e.Ops + width - 1) / width
+		if s := e.Sched - fill; s >= floor {
+			e.Sched = s
+		} else {
+			e.Sched = floor
+		}
+	}
+	if detail.Branch && p.Pipelined {
+		if t := b.Terminator(); t != nil && t.Op == cdfg.OpBr {
+			e.BranchPen = p.Branch.MissRate * p.Branch.Penalty
+		}
+	}
+	if detail.Memory {
+		st := p.Mem.Current
+		// A PE with a memory hierarchy pays instruction-fetch and data
+		// delays; a PE with single-cycle local storage (ExtLatency 0 and no
+		// caches) folds memory cost into the scheduled load/store ops.
+		hasMemPath := p.Mem.HasICache || p.Mem.HasDCache || p.Mem.ExtLatency > 0
+		if hasMemPath {
+			iMissRate := 1 - st.IHitRate
+			e.IDelay = float64(e.Ops) * (iMissRate*st.IMissPenalty + st.IHitRate*st.IHitDelay)
+			dMissRate := 1 - st.DHitRate
+			e.DDelay = float64(e.Operands) * (dMissRate*st.DMissPenalty + st.DHitRate*st.DHitDelay)
+		}
+	}
+	e.Total = math.Round(float64(e.Sched) + e.BranchPen + e.IDelay + e.DDelay)
+	return e
+}
+
+// EstimateBlocks computes the per-block estimate for every block of every
+// function under one PUM, without mutating the IR. Platforms that map
+// functions of the same program onto several PEs keep one such map per PE.
+func EstimateBlocks(prog *cdfg.Program, p *pum.PUM, detail Detail) map[*cdfg.Block]Estimate {
+	out := make(map[*cdfg.Block]Estimate, prog.NumBlocks())
+	for _, fn := range prog.Funcs {
+		for _, b := range fn.Blocks {
+			out[b] = BlockDelay(b, p, detail)
+		}
+	}
+	return out
+}
+
+// Report summarizes the annotation of a whole program.
+type Report struct {
+	PUM        string
+	Blocks     int
+	Ops        int
+	TotalSched int
+	// PerFunc maps function name to the summed static block delay.
+	PerFunc map[string]float64
+}
+
+// AnnotateProgram estimates every basic block of every function and writes
+// the result into Block.Delay (the IR-level equivalent of inserting the
+// wait() call at the end of each basic block). It returns a report of the
+// static annotation.
+func AnnotateProgram(prog *cdfg.Program, p *pum.PUM, detail Detail) *Report {
+	r := &Report{PUM: p.Name, PerFunc: make(map[string]float64)}
+	for _, fn := range prog.Funcs {
+		sum := 0.0
+		for _, b := range fn.Blocks {
+			e := BlockDelay(b, p, detail)
+			b.Delay = e.Total
+			sum += e.Total
+			r.Blocks++
+			r.Ops += e.Ops
+			r.TotalSched += e.Sched
+		}
+		r.PerFunc[fn.Name] = sum
+	}
+	return r
+}

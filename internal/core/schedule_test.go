@@ -1,0 +1,254 @@
+package core
+
+import (
+	"testing"
+
+	"ese/internal/cdfg"
+	"ese/internal/cfront"
+	"ese/internal/pum"
+)
+
+func compile(t *testing.T, src string) *cdfg.Program {
+	t.Helper()
+	f, err := cfront.Parse("t.c", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	u, err := cfront.Check(f)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	p, err := cdfg.Lower(u)
+	if err != nil {
+		t.Fatalf("Lower: %v", err)
+	}
+	return p
+}
+
+// block builds a synthetic basic block from opcodes with a linear
+// dependency structure controlled by deps.
+func synthBlock(ops []cdfg.Opcode, deps map[int][]int) (*cdfg.Block, *cdfg.DFG) {
+	b := &cdfg.Block{}
+	for _, op := range ops {
+		b.Instrs = append(b.Instrs, cdfg.Instr{Op: op})
+	}
+	d := &cdfg.DFG{Block: b, Deps: make([][]int, len(ops))}
+	for i, ds := range deps {
+		d.Deps[i] = ds
+	}
+	return b, d
+}
+
+func TestScheduleEmptyBlock(t *testing.T) {
+	b := &cdfg.Block{}
+	d := &cdfg.DFG{Block: b}
+	if got := Schedule(d, pum.MicroBlaze()); got != 0 {
+		t.Fatalf("empty block delay = %d, want 0", got)
+	}
+}
+
+func TestScheduleSingleOpThreeStage(t *testing.T) {
+	// One ALU op through IF/DE/EX (1 cycle each): issue iteration + 3
+	// stage traversals = 4, per the paper's pseudocode.
+	_, d := synthBlock([]cdfg.Opcode{cdfg.OpAdd}, nil)
+	if got := Schedule(d, pum.MicroBlaze()); got != 4 {
+		t.Fatalf("single ALU delay = %d, want 4", got)
+	}
+}
+
+func TestSchedulePipeliningThroughput(t *testing.T) {
+	// N independent ALU ops on a single-issue 3-stage pipe: N + 3.
+	for _, n := range []int{2, 5, 10} {
+		ops := make([]cdfg.Opcode, n)
+		for i := range ops {
+			ops[i] = cdfg.OpAdd
+		}
+		_, d := synthBlock(ops, nil)
+		want := n + 3
+		if got := Schedule(d, pum.MicroBlaze()); got != want {
+			t.Fatalf("%d independent ALU ops = %d cycles, want %d", n, got, want)
+		}
+	}
+}
+
+func TestScheduleForwardingAvoidsStall(t *testing.T) {
+	// Dependent chain of ALU ops: with demand and commit both in EX and
+	// same-edge forwarding, the chain still flows at 1 op/cycle.
+	_, d := synthBlock(
+		[]cdfg.Opcode{cdfg.OpAdd, cdfg.OpAdd, cdfg.OpAdd},
+		map[int][]int{1: {0}, 2: {1}},
+	)
+	if got := Schedule(d, pum.MicroBlaze()); got != 6 {
+		t.Fatalf("dependent ALU chain = %d, want 6", got)
+	}
+}
+
+func TestScheduleMultiCycleOpStalls(t *testing.T) {
+	// mul occupies EX for 3 cycles on the single-file pipe, so a following
+	// ALU op waits: mul alone = 6 (issue+1+1+3), mul+add = 7.
+	_, d := synthBlock([]cdfg.Opcode{cdfg.OpMul}, nil)
+	if got := Schedule(d, pum.MicroBlaze()); got != 6 {
+		t.Fatalf("mul delay = %d, want 6", got)
+	}
+	_, d = synthBlock([]cdfg.Opcode{cdfg.OpMul, cdfg.OpAdd}, nil)
+	if got := Schedule(d, pum.MicroBlaze()); got != 7 {
+		t.Fatalf("mul+add delay = %d, want 7", got)
+	}
+}
+
+func TestScheduleDivLatency(t *testing.T) {
+	_, d := synthBlock([]cdfg.Opcode{cdfg.OpDiv}, nil)
+	// issue + IF + DE + 32-cycle EX = 35.
+	if got := Schedule(d, pum.MicroBlaze()); got != 35 {
+		t.Fatalf("div delay = %d, want 35", got)
+	}
+}
+
+func TestScheduleInOrderNoOvertaking(t *testing.T) {
+	// Under in-order issue, an ALU op after a div cannot complete earlier
+	// even though it is independent.
+	_, d := synthBlock([]cdfg.Opcode{cdfg.OpDiv, cdfg.OpAdd}, nil)
+	got := Schedule(d, pum.MicroBlaze())
+	if got != 36 {
+		t.Fatalf("div+add in-order = %d, want 36", got)
+	}
+}
+
+func TestScheduleCustomHWParallelism(t *testing.T) {
+	hw := pum.CustomHW("hw", 100_000_000)
+	// Two independent ALU ops, two ALU FUs, issue width 2, one stage:
+	// both issue in iteration 1 and complete in iteration 2 -> delay 2.
+	_, d := synthBlock([]cdfg.Opcode{cdfg.OpAdd, cdfg.OpSub}, nil)
+	if got := Schedule(d, hw); got != 2 {
+		t.Fatalf("2 parallel ALU on HW = %d, want 2", got)
+	}
+	// Three independent ALU ops with only 2 ALUs: third waits a cycle.
+	_, d = synthBlock([]cdfg.Opcode{cdfg.OpAdd, cdfg.OpSub, cdfg.OpXor}, nil)
+	if got := Schedule(d, hw); got != 3 {
+		t.Fatalf("3 ALU ops on 2 ALUs = %d, want 3", got)
+	}
+}
+
+func TestScheduleHWDemandAtIssue(t *testing.T) {
+	hw := pum.CustomHW("hw", 100_000_000)
+	// Dependent chain a -> b on the one-stage datapath: b cannot issue
+	// until a commits. a: issued iter1, completes iter2 (committed);
+	// b issues iter2? b's issue check happens in assign after advclock,
+	// so b issues in iteration 2 and completes in iteration 3.
+	_, d := synthBlock([]cdfg.Opcode{cdfg.OpAdd, cdfg.OpSub}, map[int][]int{1: {0}})
+	if got := Schedule(d, hw); got != 3 {
+		t.Fatalf("dependent pair on HW = %d, want 3", got)
+	}
+}
+
+func TestScheduleListBeatsASAPOnCriticalPath(t *testing.T) {
+	// A long chain (mul->mul) plus independent cheap ops competing for
+	// issue. List scheduling must prioritize the critical chain, so its
+	// makespan is <= ASAP's.
+	ops := []cdfg.Opcode{cdfg.OpMul, cdfg.OpMul, cdfg.OpAdd, cdfg.OpAdd, cdfg.OpAdd, cdfg.OpAdd}
+	deps := map[int][]int{1: {0}}
+	hwList := pum.CustomHW("hw", 1)
+	hwASAP := pum.CustomHW("hw", 1)
+	hwASAP.Policy = pum.PolicyASAP
+	_, dl := synthBlock(ops, deps)
+	listDelay := Schedule(dl, hwList)
+	_, da := synthBlock(ops, deps)
+	asapDelay := Schedule(da, hwASAP)
+	if listDelay > asapDelay {
+		t.Fatalf("list (%d) worse than ASAP (%d)", listDelay, asapDelay)
+	}
+}
+
+func TestScheduleSuperscalarFasterThanSingleIssue(t *testing.T) {
+	ops := make([]cdfg.Opcode, 8)
+	for i := range ops {
+		ops[i] = cdfg.OpAdd
+	}
+	_, d1 := synthBlock(ops, nil)
+	single := Schedule(d1, pum.MicroBlaze())
+	_, d2 := synthBlock(ops, nil)
+	dual := Schedule(d2, pum.DualIssue())
+	if dual >= single {
+		t.Fatalf("dual issue (%d) not faster than single issue (%d)", dual, single)
+	}
+}
+
+func TestScheduleTerminatesOnRealBlocks(t *testing.T) {
+	prog := compile(t, `
+int a[64];
+int f(int x) { return x * x + 3; }
+void main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 64; i++) {
+    a[i] = f(i) / (i + 1);
+    s += a[i] % 7;
+  }
+  out(s);
+}`)
+	for _, model := range []*pum.PUM{pum.MicroBlaze(), pum.CustomHW("hw", 1), pum.DualIssue()} {
+		for _, fn := range prog.Funcs {
+			for _, b := range fn.Blocks {
+				d := cdfg.BuildDFG(b)
+				got := Schedule(d, model)
+				if len(b.Instrs) > 0 && got < len(b.Instrs)/model.Pipelines[0].IssueWidth/len(model.Pipelines) {
+					t.Fatalf("%s/%s bb%d: delay %d below issue bound", model.Name, fn.Name, b.ID, got)
+				}
+				if got > 100*len(b.Instrs)+100 {
+					t.Fatalf("%s/%s bb%d: delay %d absurdly high", model.Name, fn.Name, b.ID, got)
+				}
+			}
+		}
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	prog := compile(t, `
+int a[32];
+void main() {
+  int i;
+  for (i = 0; i < 32; i++) a[i] = (a[i] * 3 + i) % 17;
+  out(a[0]);
+}`)
+	for _, model := range []*pum.PUM{pum.MicroBlaze(), pum.CustomHW("hw", 1)} {
+		for _, fn := range prog.Funcs {
+			for _, b := range fn.Blocks {
+				d := cdfg.BuildDFG(b)
+				first := Schedule(d, model)
+				for k := 0; k < 3; k++ {
+					if again := Schedule(d, model); again != first {
+						t.Fatalf("nondeterministic schedule: %d vs %d", first, again)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestScheduleLoadUseHazardOnARM5(t *testing.T) {
+	arm := pum.ARM5()
+	// Independent load + add: both flow without stalling.
+	_, dInd := synthBlock([]cdfg.Opcode{cdfg.OpLoad, cdfg.OpAdd}, nil)
+	independent := Schedule(dInd, arm)
+	// add depends on the load: the load commits in MEM, so the dependent
+	// add waits one extra cycle before entering EX (load-use hazard).
+	_, dDep := synthBlock([]cdfg.Opcode{cdfg.OpLoad, cdfg.OpAdd}, map[int][]int{1: {0}})
+	dependent := Schedule(dDep, arm)
+	if dependent != independent+1 {
+		t.Fatalf("load-use hazard: dependent=%d independent=%d (want +1 stall)",
+			dependent, independent)
+	}
+	// ALU->ALU dependency forwards from EX: no stall.
+	_, aInd := synthBlock([]cdfg.Opcode{cdfg.OpAdd, cdfg.OpAdd}, nil)
+	_, aDep := synthBlock([]cdfg.Opcode{cdfg.OpAdd, cdfg.OpAdd}, map[int][]int{1: {0}})
+	if Schedule(aDep, arm) != Schedule(aInd, arm) {
+		t.Fatalf("ALU forwarding broken: dep=%d ind=%d",
+			Schedule(aDep, arm), Schedule(aInd, arm))
+	}
+}
+
+func TestARM5Validates(t *testing.T) {
+	if err := pum.ARM5().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,611 @@
+// Package experiments reproduces the evaluation of the paper: Table 1
+// (scalability: annotation and simulation times across the four MP3
+// designs), Table 2 (SW-only estimation accuracy of ISS and timed TLM
+// against the board across five cache configurations), Table 3 (accuracy
+// of the hardware-accelerated designs against the board), plus three
+// ablations the paper motivates (statistical-model sensitivity, sc_wait
+// granularity, and PUM detail level).
+//
+// The "board" is the cycle-accurate virtual board of internal/rtl; the
+// statistical PUM is calibrated on a training workload distinct from the
+// evaluation workload, so reported errors are genuine estimation errors.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ese/internal/apps"
+	"ese/internal/core"
+	"ese/internal/iss"
+	"ese/internal/pum"
+	"ese/internal/rtl"
+	"ese/internal/tlm"
+)
+
+// Setup bundles what every experiment needs: the calibrated processor
+// model and the workload configurations.
+type Setup struct {
+	Eval  apps.MP3Config
+	Train apps.MP3Config
+	MB    *pum.PUM // calibrated MicroBlaze-like model
+}
+
+// NewSetup calibrates the MicroBlaze model on the training workload.
+func NewSetup(eval, train apps.MP3Config) (*Setup, error) {
+	trainProg, err := apps.CompileMP3("SW", train)
+	if err != nil {
+		return nil, err
+	}
+	mb, err := rtl.Calibrate(pum.MicroBlaze(), trainProg, "main", pum.StandardCacheConfigs, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Setup{Eval: eval, Train: train, MB: mb}, nil
+}
+
+// DefaultSetup uses the standard evaluation and training workloads.
+func DefaultSetup() (*Setup, error) {
+	return NewSetup(apps.DefaultMP3, apps.TrainMP3)
+}
+
+func pct(est, ref float64) float64 {
+	if ref == 0 {
+		return 0
+	}
+	return 100 * (est - ref) / ref
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// ---------------------------------------------------------------- Table 1
+
+// Table1Row is one design's scalability measurements.
+type Table1Row struct {
+	Design   string
+	Anno     time.Duration // annotation time for all PEs
+	TLMFunc  time.Duration // functional TLM simulation time
+	TLMTimed time.Duration // timed TLM simulation time
+	PCAM     time.Duration // cycle-accurate board simulation time
+	ISS      time.Duration // ISS simulation time (SW design only)
+	HasISS   bool
+}
+
+// Table1 is the scalability table.
+type Table1 struct {
+	Rows []Table1Row
+}
+
+// RunTable1 measures annotation and simulation times for every design.
+func RunTable1(s *Setup) (*Table1, error) {
+	t := &Table1{}
+	cacheCfg := pum.CacheCfg{ISize: 8 * 1024, DSize: 4 * 1024}
+	for _, design := range apps.MP3DesignNames {
+		d, err := apps.MP3Design(design, s.Eval, s.MB, cacheCfg)
+		if err != nil {
+			return nil, err
+		}
+		row := Table1Row{Design: design}
+
+		fun, err := tlm.RunFunctional(d, 0)
+		if err != nil {
+			return nil, err
+		}
+		row.TLMFunc = fun.Wall
+
+		timed, err := tlm.RunTimed(d, 0)
+		if err != nil {
+			return nil, err
+		}
+		row.TLMTimed = timed.Wall
+		row.Anno = timed.AnnoTime
+
+		board, err := rtl.RunBoard(d, 0)
+		if err != nil {
+			return nil, err
+		}
+		row.PCAM = board.Wall
+
+		if design == "SW" {
+			isa, err := iss.Generate(d.Program)
+			if err != nil {
+				return nil, err
+			}
+			m := iss.NewMachine(isa)
+			if err := m.Start("main"); err != nil {
+				return nil, err
+			}
+			sim := iss.NewISS(m, iss.DefaultTiming(cacheCfg.ISize, cacheCfg.DSize))
+			start := time.Now()
+			if err := sim.Run(0); err != nil {
+				return nil, err
+			}
+			row.ISS = time.Since(start)
+			row.HasISS = true
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// String renders the table in the paper's layout.
+func (t *Table1) String() string {
+	var sb strings.Builder
+	sb.WriteString("Table 1: Scalability — annotation and simulation time per design\n")
+	fmt.Fprintf(&sb, "%-6s %12s %12s %12s %12s %12s\n",
+		"Design", "Anno.", "TLM func", "TLM timed", "ISS", "PCAM")
+	for _, r := range t.Rows {
+		issStr := "-"
+		if r.HasISS {
+			issStr = r.ISS.Round(time.Millisecond).String()
+		}
+		fmt.Fprintf(&sb, "%-6s %12s %12s %12s %12s %12s\n",
+			r.Design,
+			r.Anno.Round(time.Millisecond),
+			r.TLMFunc.Round(time.Millisecond),
+			r.TLMTimed.Round(time.Millisecond),
+			issStr,
+			r.PCAM.Round(time.Millisecond))
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------- Table 2
+
+// Table2Row is one cache configuration's accuracy result for the SW design.
+type Table2Row struct {
+	Cfg    pum.CacheCfg
+	Board  uint64
+	ISS    uint64
+	ISSErr float64 // percent
+	TLM    uint64
+	TLMErr float64 // percent
+}
+
+// Table2 is the SW-only accuracy table.
+type Table2 struct {
+	Rows      []Table2Row
+	AvgISSErr float64 // average of absolute errors, like the paper
+	AvgTLMErr float64
+}
+
+// RunTable2 compares board, ISS and timed-TLM cycle counts for the pure
+// software design across the standard cache sweep.
+func RunTable2(s *Setup) (*Table2, error) {
+	prog, err := apps.CompileMP3("SW", s.Eval)
+	if err != nil {
+		return nil, err
+	}
+	isa, err := iss.Generate(prog)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table2{}
+	for _, cc := range pum.StandardCacheConfigs {
+		row := Table2Row{Cfg: cc}
+
+		// Board reference.
+		m := iss.NewMachine(isa)
+		if err := m.Start("main"); err != nil {
+			return nil, err
+		}
+		cpu, err := rtl.NewCPU(m, rtl.CPUConfig{
+			Model:  s.MB,
+			ICache: rtl.RealCacheConfig(cc.ISize),
+			DCache: rtl.RealCacheConfig(cc.DSize),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := cpu.Run(0); err != nil {
+			return nil, err
+		}
+		row.Board = cpu.Cycles
+
+		// ISS estimate.
+		m2 := iss.NewMachine(isa)
+		if err := m2.Start("main"); err != nil {
+			return nil, err
+		}
+		sim := iss.NewISS(m2, iss.DefaultTiming(cc.ISize, cc.DSize))
+		if err := sim.Run(0); err != nil {
+			return nil, err
+		}
+		row.ISS = sim.Cycles
+		row.ISSErr = pct(float64(row.ISS), float64(row.Board))
+
+		// Timed TLM estimate.
+		d, err := apps.MP3Design("SW", s.Eval, s.MB, cc)
+		if err != nil {
+			return nil, err
+		}
+		res, err := tlm.RunTimed(d, 0)
+		if err != nil {
+			return nil, err
+		}
+		row.TLM = res.CyclesByPE["mb"]
+		row.TLMErr = pct(float64(row.TLM), float64(row.Board))
+
+		t.Rows = append(t.Rows, row)
+		t.AvgISSErr += abs(row.ISSErr)
+		t.AvgTLMErr += abs(row.TLMErr)
+	}
+	t.AvgISSErr /= float64(len(t.Rows))
+	t.AvgTLMErr /= float64(len(t.Rows))
+	return t, nil
+}
+
+// String renders the table in the paper's layout.
+func (t *Table2) String() string {
+	var sb strings.Builder
+	sb.WriteString("Table 2: Accuracy (SW only) — cycles and error vs board\n")
+	fmt.Fprintf(&sb, "%-9s %12s %12s %9s %12s %9s\n",
+		"I/D cache", "Board", "ISS", "err%", "TLM", "err%")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&sb, "%-9s %12d %12d %8.2f%% %12d %8.2f%%\n",
+			r.Cfg, r.Board, r.ISS, r.ISSErr, r.TLM, r.TLMErr)
+	}
+	fmt.Fprintf(&sb, "%-9s %12s %12s %8.2f%% %12s %8.2f%%   (avg |err|)\n",
+		"Average", "", "", t.AvgISSErr, "", t.AvgTLMErr)
+	return sb.String()
+}
+
+// ---------------------------------------------------------------- Table 3
+
+// Table3Cell is one (design, cache) accuracy measurement of total decode
+// time in bus-clock cycles (the paper measures with an on-board timer).
+type Table3Cell struct {
+	Board uint64
+	TLM   uint64
+	Err   float64
+}
+
+// Table3Row is one cache configuration across the HW designs.
+type Table3Row struct {
+	Cfg   pum.CacheCfg
+	Cells map[string]Table3Cell
+}
+
+// Table3 is the HW-design accuracy table.
+type Table3 struct {
+	Designs []string
+	Rows    []Table3Row
+	AvgErr  map[string]float64
+}
+
+// RunTable3 compares board and timed-TLM total times for the designs with
+// custom hardware.
+func RunTable3(s *Setup) (*Table3, error) {
+	designs := []string{"SW+1", "SW+2", "SW+4"}
+	t := &Table3{
+		Designs: designs,
+		AvgErr:  make(map[string]float64, len(designs)),
+	}
+	for _, cc := range pum.StandardCacheConfigs {
+		row := Table3Row{Cfg: cc, Cells: make(map[string]Table3Cell, len(designs))}
+		for _, design := range designs {
+			d, err := apps.MP3Design(design, s.Eval, s.MB, cc)
+			if err != nil {
+				return nil, err
+			}
+			board, err := rtl.RunBoard(d, 0)
+			if err != nil {
+				return nil, err
+			}
+			res, err := tlm.RunTimed(d, 0)
+			if err != nil {
+				return nil, err
+			}
+			cell := Table3Cell{
+				Board: board.EndCycles(d.Bus.ClockHz),
+				TLM:   res.EndCycles(d.Bus.ClockHz),
+			}
+			cell.Err = pct(float64(cell.TLM), float64(cell.Board))
+			row.Cells[design] = cell
+			t.AvgErr[design] += abs(cell.Err)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	for _, design := range designs {
+		t.AvgErr[design] /= float64(len(t.Rows))
+	}
+	return t, nil
+}
+
+// String renders the table in the paper's layout.
+func (t *Table3) String() string {
+	var sb strings.Builder
+	sb.WriteString("Table 3: Accuracy — total cycles (board vs timed TLM) for HW designs\n")
+	fmt.Fprintf(&sb, "%-9s", "I/D cache")
+	for _, d := range t.Designs {
+		fmt.Fprintf(&sb, " %12s %12s %8s", d+" board", "TLM", "err%")
+	}
+	sb.WriteString("\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&sb, "%-9s", r.Cfg)
+		for _, d := range t.Designs {
+			c := r.Cells[d]
+			fmt.Fprintf(&sb, " %12d %12d %7.2f%%", c.Board, c.TLM, c.Err)
+		}
+		sb.WriteString("\n")
+	}
+	fmt.Fprintf(&sb, "%-9s", "Average")
+	for _, d := range t.Designs {
+		fmt.Fprintf(&sb, " %12s %12s %7.2f%%", "", "", t.AvgErr[d])
+	}
+	sb.WriteString("   (avg |err|)\n")
+	return sb.String()
+}
+
+// ------------------------------------------------------------- Ablations
+
+// SensitivityPoint is one perturbation of the statistical models.
+type SensitivityPoint struct {
+	Perturb float64 // multiplicative perturbation of miss rates, e.g. -0.2
+	TLM     uint64
+	Err     float64 // vs unperturbed board
+}
+
+// Sensitivity is the ablation the paper names as future work (§5): how the
+// estimate responds to errors in the statistical memory and branch models.
+type Sensitivity struct {
+	Cfg    pum.CacheCfg
+	Board  uint64
+	Points []SensitivityPoint
+}
+
+// RunSensitivity perturbs the calibrated miss rates and misprediction
+// ratio by the given relative amounts and re-estimates the SW design.
+func RunSensitivity(s *Setup, cc pum.CacheCfg, perturbs []float64) (*Sensitivity, error) {
+	prog, err := apps.CompileMP3("SW", s.Eval)
+	if err != nil {
+		return nil, err
+	}
+	isa, err := iss.Generate(prog)
+	if err != nil {
+		return nil, err
+	}
+	m := iss.NewMachine(isa)
+	if err := m.Start("main"); err != nil {
+		return nil, err
+	}
+	cpu, err := rtl.NewCPU(m, rtl.CPUConfig{
+		Model:  s.MB,
+		ICache: rtl.RealCacheConfig(cc.ISize),
+		DCache: rtl.RealCacheConfig(cc.DSize),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := cpu.Run(0); err != nil {
+		return nil, err
+	}
+	out := &Sensitivity{Cfg: cc, Board: cpu.Cycles}
+
+	for _, p := range perturbs {
+		mb := s.MB.Clone()
+		st := mb.Mem.Table[cc]
+		st.IHitRate = clamp01(1 - (1-st.IHitRate)*(1+p))
+		st.DHitRate = clamp01(1 - (1-st.DHitRate)*(1+p))
+		mb.Mem.Table[cc] = st
+		mb.Branch.MissRate = clamp01(mb.Branch.MissRate * (1 + p))
+		d, err := apps.MP3Design("SW", s.Eval, mb, cc)
+		if err != nil {
+			return nil, err
+		}
+		res, err := tlm.RunTimed(d, 0)
+		if err != nil {
+			return nil, err
+		}
+		est := res.CyclesByPE["mb"]
+		out.Points = append(out.Points, SensitivityPoint{
+			Perturb: p,
+			TLM:     est,
+			Err:     pct(float64(est), float64(out.Board)),
+		})
+	}
+	return out, nil
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// String renders the sensitivity sweep.
+func (s *Sensitivity) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Ablation A1: sensitivity of the estimate to statistical-model error (%s, board=%d)\n", s.Cfg, s.Board)
+	fmt.Fprintf(&sb, "%10s %12s %9s\n", "perturb", "TLM", "err%")
+	for _, p := range s.Points {
+		fmt.Fprintf(&sb, "%+9.0f%% %12d %8.2f%%\n", 100*p.Perturb, p.TLM, p.Err)
+	}
+	return sb.String()
+}
+
+// Granularity is the sc_wait-granularity ablation (§4.3): per-block waits
+// versus accumulated waits at transaction boundaries must give identical
+// cycle counts but different simulation speed.
+type Granularity struct {
+	Design      string
+	PerTxCycles uint64
+	PerBBCycles uint64
+	PerTxWall   time.Duration
+	PerBBWall   time.Duration
+	PerTxEndPs  uint64
+	PerBBEndPs  uint64
+}
+
+// RunGranularity runs the timed TLM of a design in both wait modes.
+func RunGranularity(s *Setup, design string) (*Granularity, error) {
+	cc := pum.CacheCfg{ISize: 8 * 1024, DSize: 4 * 1024}
+	d, err := apps.MP3Design(design, s.Eval, s.MB, cc)
+	if err != nil {
+		return nil, err
+	}
+	tx, err := tlm.Run(d, tlm.Options{Timed: true, WaitMode: tlm.WaitAtTransactions, Detail: core.FullDetail})
+	if err != nil {
+		return nil, err
+	}
+	d2, err := apps.MP3Design(design, s.Eval, s.MB, cc)
+	if err != nil {
+		return nil, err
+	}
+	bb, err := tlm.Run(d2, tlm.Options{Timed: true, WaitMode: tlm.WaitPerBlock, Detail: core.FullDetail})
+	if err != nil {
+		return nil, err
+	}
+	return &Granularity{
+		Design:      design,
+		PerTxCycles: tx.CyclesByPE["mb"],
+		PerBBCycles: bb.CyclesByPE["mb"],
+		PerTxWall:   tx.Wall,
+		PerBBWall:   bb.Wall,
+		PerTxEndPs:  uint64(tx.EndPs),
+		PerBBEndPs:  uint64(bb.EndPs),
+	}, nil
+}
+
+// String renders the granularity comparison.
+func (g *Granularity) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Ablation A2: wait granularity (%s)\n", g.Design)
+	fmt.Fprintf(&sb, "%-16s %14s %14s\n", "", "per-transaction", "per-block")
+	fmt.Fprintf(&sb, "%-16s %14d %14d\n", "mb cycles", g.PerTxCycles, g.PerBBCycles)
+	fmt.Fprintf(&sb, "%-16s %14v %14v\n", "wall time", g.PerTxWall.Round(time.Millisecond), g.PerBBWall.Round(time.Millisecond))
+	return sb.String()
+}
+
+// DetailLevel is one row of the PUM-detail ablation.
+type DetailLevel struct {
+	Name   string
+	Detail core.Detail
+	TLM    uint64
+	Err    float64
+	Anno   time.Duration
+}
+
+// PUMDetail is the accuracy/effort tradeoff ablation of §1: the more PE
+// features modeled, the more accurate (and the slower) the annotation.
+type PUMDetail struct {
+	Cfg    pum.CacheCfg
+	Board  uint64
+	Levels []DetailLevel
+}
+
+// RunPUMDetail estimates the SW design with increasing PUM detail.
+func RunPUMDetail(s *Setup, cc pum.CacheCfg) (*PUMDetail, error) {
+	prog, err := apps.CompileMP3("SW", s.Eval)
+	if err != nil {
+		return nil, err
+	}
+	isa, err := iss.Generate(prog)
+	if err != nil {
+		return nil, err
+	}
+	m := iss.NewMachine(isa)
+	if err := m.Start("main"); err != nil {
+		return nil, err
+	}
+	cpu, err := rtl.NewCPU(m, rtl.CPUConfig{
+		Model:  s.MB,
+		ICache: rtl.RealCacheConfig(cc.ISize),
+		DCache: rtl.RealCacheConfig(cc.DSize),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := cpu.Run(0); err != nil {
+		return nil, err
+	}
+	out := &PUMDetail{Cfg: cc, Board: cpu.Cycles}
+	levels := []DetailLevel{
+		{Name: "schedule only", Detail: core.Detail{}},
+		{Name: "+memory", Detail: core.Detail{Memory: true}},
+		{Name: "+memory+branch", Detail: core.FullDetail},
+	}
+	for _, lv := range levels {
+		d, err := apps.MP3Design("SW", s.Eval, s.MB, cc)
+		if err != nil {
+			return nil, err
+		}
+		res, err := tlm.Run(d, tlm.Options{Timed: true, WaitMode: tlm.WaitAtTransactions, Detail: lv.Detail})
+		if err != nil {
+			return nil, err
+		}
+		lv.TLM = res.CyclesByPE["mb"]
+		lv.Err = pct(float64(lv.TLM), float64(out.Board))
+		lv.Anno = res.AnnoTime
+		out.Levels = append(out.Levels, lv)
+	}
+	return out, nil
+}
+
+// String renders the detail ablation.
+func (p *PUMDetail) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Ablation A3: PUM detail vs accuracy (%s, board=%d)\n", p.Cfg, p.Board)
+	fmt.Fprintf(&sb, "%-16s %12s %9s %12s\n", "detail", "TLM", "err%", "anno time")
+	for _, lv := range p.Levels {
+		fmt.Fprintf(&sb, "%-16s %12d %8.2f%% %12v\n", lv.Name, lv.TLM, lv.Err, lv.Anno.Round(time.Microsecond))
+	}
+	return sb.String()
+}
+
+// CheckFunctionalEquivalence verifies the keystone invariant across every
+// design and engine: identical out() streams everywhere.
+func CheckFunctionalEquivalence(s *Setup) error {
+	cc := pum.CacheCfg{ISize: 8 * 1024, DSize: 4 * 1024}
+	var ref []int32
+	for _, design := range apps.MP3DesignNames {
+		d, err := apps.MP3Design(design, s.Eval, s.MB, cc)
+		if err != nil {
+			return err
+		}
+		fun, err := tlm.RunFunctional(d, 0)
+		if err != nil {
+			return err
+		}
+		timed, err := tlm.RunTimed(d, 0)
+		if err != nil {
+			return err
+		}
+		board, err := rtl.RunBoard(d, 0)
+		if err != nil {
+			return err
+		}
+		outs := [][]int32{fun.OutByPE["mb"], timed.OutByPE["mb"], board.PEs["mb"].Out}
+		if ref == nil {
+			ref = outs[0]
+		}
+		for i, o := range outs {
+			if !equalI32(o, ref) {
+				return fmt.Errorf("experiments: %s engine %d output diverges", design, i)
+			}
+		}
+	}
+	return nil
+}
+
+func equalI32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// This file provides machine-readable (JSON) forms of every experiment
+// result, for plotting pipelines and regression tracking around the bench
+// harness (esebench -json).
+
+// jsonDuration renders durations as milliseconds.
+type jsonDuration time.Duration
+
+func (d jsonDuration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(float64(time.Duration(d)) / float64(time.Millisecond))
+}
+
+type table1JSON struct {
+	Design  string       `json:"design"`
+	AnnoMs  jsonDuration `json:"annotation_ms"`
+	FuncMs  jsonDuration `json:"tlm_functional_ms"`
+	TimedMs jsonDuration `json:"tlm_timed_ms"`
+	ISSMs   jsonDuration `json:"iss_ms,omitempty"`
+	PCAMMs  jsonDuration `json:"pcam_ms"`
+	HasISS  bool         `json:"has_iss"`
+}
+
+// MarshalJSON renders Table 1.
+func (t *Table1) MarshalJSON() ([]byte, error) {
+	rows := make([]table1JSON, 0, len(t.Rows))
+	for _, r := range t.Rows {
+		rows = append(rows, table1JSON{
+			Design:  r.Design,
+			AnnoMs:  jsonDuration(r.Anno),
+			FuncMs:  jsonDuration(r.TLMFunc),
+			TimedMs: jsonDuration(r.TLMTimed),
+			ISSMs:   jsonDuration(r.ISS),
+			PCAMMs:  jsonDuration(r.PCAM),
+			HasISS:  r.HasISS,
+		})
+	}
+	return json.Marshal(map[string]any{"table": 1, "rows": rows})
+}
+
+// MarshalJSON renders Table 2.
+func (t *Table2) MarshalJSON() ([]byte, error) {
+	type row struct {
+		Cache  string  `json:"cache"`
+		Board  uint64  `json:"board_cycles"`
+		ISS    uint64  `json:"iss_cycles"`
+		ISSErr float64 `json:"iss_err_pct"`
+		TLM    uint64  `json:"tlm_cycles"`
+		TLMErr float64 `json:"tlm_err_pct"`
+	}
+	rows := make([]row, 0, len(t.Rows))
+	for _, r := range t.Rows {
+		rows = append(rows, row{
+			Cache: r.Cfg.String(), Board: r.Board,
+			ISS: r.ISS, ISSErr: r.ISSErr, TLM: r.TLM, TLMErr: r.TLMErr,
+		})
+	}
+	return json.Marshal(map[string]any{
+		"table": 2, "rows": rows,
+		"avg_abs_iss_err_pct": t.AvgISSErr,
+		"avg_abs_tlm_err_pct": t.AvgTLMErr,
+	})
+}
+
+// MarshalJSON renders Table 3.
+func (t *Table3) MarshalJSON() ([]byte, error) {
+	type cell struct {
+		Board  uint64  `json:"board_cycles"`
+		TLM    uint64  `json:"tlm_cycles"`
+		ErrPct float64 `json:"err_pct"`
+	}
+	type row struct {
+		Cache string          `json:"cache"`
+		Cells map[string]cell `json:"designs"`
+	}
+	rows := make([]row, 0, len(t.Rows))
+	for _, r := range t.Rows {
+		cells := make(map[string]cell, len(r.Cells))
+		for d, c := range r.Cells {
+			cells[d] = cell{Board: c.Board, TLM: c.TLM, ErrPct: c.Err}
+		}
+		rows = append(rows, row{Cache: r.Cfg.String(), Cells: cells})
+	}
+	return json.Marshal(map[string]any{
+		"table": 3, "rows": rows, "avg_abs_err_pct": t.AvgErr,
+	})
+}
+
+// MarshalJSON renders the sensitivity ablation.
+func (s *Sensitivity) MarshalJSON() ([]byte, error) {
+	type point struct {
+		PerturbPct float64 `json:"perturb_pct"`
+		TLM        uint64  `json:"tlm_cycles"`
+		ErrPct     float64 `json:"err_pct"`
+	}
+	pts := make([]point, 0, len(s.Points))
+	for _, p := range s.Points {
+		pts = append(pts, point{PerturbPct: 100 * p.Perturb, TLM: p.TLM, ErrPct: p.Err})
+	}
+	return json.Marshal(map[string]any{
+		"ablation": "sensitivity", "cache": s.Cfg.String(),
+		"board_cycles": s.Board, "points": pts,
+	})
+}
+
+// MarshalJSON renders the overlap study.
+func (o *OverlapStudy) MarshalJSON() ([]byte, error) {
+	type row struct {
+		Cache       string  `json:"cache"`
+		Board       uint64  `json:"board_cycles"`
+		Faithful    uint64  `json:"faithful_cycles"`
+		FaithErrPct float64 `json:"faithful_err_pct"`
+		Overlap     uint64  `json:"overlap_cycles"`
+		OverErrPct  float64 `json:"overlap_err_pct"`
+	}
+	rows := make([]row, 0, len(o.Rows))
+	for _, r := range o.Rows {
+		rows = append(rows, row{
+			Cache: r.Cfg.String(), Board: r.Board,
+			Faithful: r.Faithful, FaithErrPct: r.FaithErr,
+			Overlap: r.Overlap, OverErrPct: r.OverlapErr,
+		})
+	}
+	return json.Marshal(map[string]any{
+		"ablation": "overlap", "rows": rows,
+		"avg_abs_faithful_err_pct": o.AvgFaith,
+		"avg_abs_overlap_err_pct":  o.AvgOverlap,
+	})
+}
+
+// MarshalJSON renders the RTOS study.
+func (r *RTOSStudy) MarshalJSON() ([]byte, error) {
+	type row struct {
+		Policy   string `json:"policy"`
+		Total    uint64 `json:"total_cycles"`
+		Dec      uint64 `json:"dec_cpu_cycles"`
+		Enc      uint64 `json:"enc_cpu_cycles"`
+		Switches uint64 `json:"switches"`
+	}
+	rows := make([]row, 0, len(r.Rows))
+	for _, x := range r.Rows {
+		rows = append(rows, row{
+			Policy: x.Label, Total: x.TotalCycles,
+			Dec: x.DecCycles, Enc: x.EncCycles, Switches: x.Switches,
+		})
+	}
+	return json.Marshal(map[string]any{
+		"extension": "rtos", "two_pe_cycles": r.TwoPECycles, "rows": rows,
+	})
+}

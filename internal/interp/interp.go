@@ -1,0 +1,299 @@
+// Package interp executes CDFG IR functionally. It is the execution engine
+// behind both the functional TLM and the timed TLM: the timed variant simply
+// installs an OnBlock hook that accumulates the annotated per-block delays
+// (the generated wait() call of the paper), so timed simulation runs at
+// near-functional speed.
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"ese/internal/cdfg"
+	"ese/internal/cfront"
+)
+
+// ErrLimit is returned when the configured dynamic step limit is exceeded.
+var ErrLimit = errors.New("interp: step limit exceeded")
+
+// Arg is one call argument: a scalar value or an array passed by reference.
+type Arg struct {
+	Scalar int32
+	Arr    []int32 // non-nil for array arguments
+}
+
+// Machine interprets one process (one entry function and everything it
+// calls) against its own copy of the program's global state.
+type Machine struct {
+	Prog    *cdfg.Program
+	Globals [][]int32 // one backing slice per global; scalars have length 1
+	Out     []int32   // stream written by the out() intrinsic
+
+	// Send and Recv implement the communication intrinsics. When nil, any
+	// send/recv instruction is an error (the program was mapped to a
+	// platform without the channel).
+	Send func(ch int, data []int32) error
+	Recv func(ch int, buf []int32) error
+
+	// OnBlock, when set, observes every dynamic basic-block execution
+	// before the block body runs. The timed TLM uses it to accumulate the
+	// annotated delay.
+	OnBlock func(b *cdfg.Block)
+
+	// Steps counts dynamically executed IR instructions.
+	Steps uint64
+	// Limit aborts execution when Steps exceeds it; 0 means no limit.
+	Limit uint64
+}
+
+// New creates a machine with globals initialized from the program.
+func New(prog *cdfg.Program) *Machine {
+	m := &Machine{Prog: prog}
+	m.Globals = make([][]int32, len(prog.Globals))
+	for i, g := range prog.Globals {
+		buf := make([]int32, g.Size)
+		copy(buf, g.Init)
+		m.Globals[i] = buf
+	}
+	return m
+}
+
+// Reset re-initializes globals, the out stream and the step counter.
+func (m *Machine) Reset() {
+	for i, g := range m.Prog.Globals {
+		buf := m.Globals[i]
+		for j := range buf {
+			buf[j] = 0
+		}
+		copy(buf, g.Init)
+	}
+	m.Out = m.Out[:0]
+	m.Steps = 0
+}
+
+// Run executes the named entry function with no arguments.
+func (m *Machine) Run(entry string) error {
+	fn := m.Prog.Func(entry)
+	if fn == nil {
+		return fmt.Errorf("interp: no function %q", entry)
+	}
+	if len(fn.Params) != 0 {
+		return fmt.Errorf("interp: entry %q must take no parameters", entry)
+	}
+	_, err := m.Call(fn, nil)
+	return err
+}
+
+// Call executes fn with the given arguments and returns its result (0 for
+// void functions).
+func (m *Machine) Call(fn *cdfg.Function, args []Arg) (int32, error) {
+	if len(args) != len(fn.Params) {
+		return 0, fmt.Errorf("interp: %s called with %d args, want %d",
+			fn.Name, len(args), len(fn.Params))
+	}
+	f := frame{
+		regs:  make([]int32, fn.NTemps),
+		slots: make([][]int32, len(fn.Slots)),
+	}
+	for i, s := range fn.Slots {
+		if s.IsParam {
+			a := args[s.ParamIx]
+			if s.IsArray {
+				if a.Arr == nil {
+					return 0, fmt.Errorf("interp: %s: array argument %d is nil", fn.Name, s.ParamIx)
+				}
+				f.slots[i] = a.Arr
+			} else {
+				f.slots[i] = []int32{a.Scalar}
+			}
+			continue
+		}
+		// Locals are zero-initialized by the ABI; initializer IR emitted by
+		// the lowering fills in non-zero values.
+		f.slots[i] = make([]int32, s.Size)
+	}
+	return m.exec(fn, &f)
+}
+
+type frame struct {
+	regs  []int32
+	slots [][]int32
+}
+
+func (m *Machine) get(f *frame, r cdfg.Ref) int32 {
+	switch r.Kind {
+	case cdfg.RefConst:
+		return r.Val
+	case cdfg.RefTemp:
+		return f.regs[r.Idx]
+	case cdfg.RefSlot:
+		return f.slots[r.Idx][0]
+	case cdfg.RefGlobal:
+		return m.Globals[r.Idx][0]
+	}
+	return 0
+}
+
+func (m *Machine) set(f *frame, r cdfg.Ref, v int32) {
+	switch r.Kind {
+	case cdfg.RefTemp:
+		f.regs[r.Idx] = v
+	case cdfg.RefSlot:
+		f.slots[r.Idx][0] = v
+	case cdfg.RefGlobal:
+		m.Globals[r.Idx][0] = v
+	}
+}
+
+// array resolves an array base operand to its backing slice.
+func (m *Machine) array(f *frame, r cdfg.Ref) []int32 {
+	if r.Kind == cdfg.RefGlobal {
+		return m.Globals[r.Idx]
+	}
+	return f.slots[r.Idx]
+}
+
+func (m *Machine) runtimeErr(pos cfront.Pos, format string, args ...any) error {
+	return fmt.Errorf("interp: %s: %s", pos, fmt.Sprintf(format, args...))
+}
+
+func (m *Machine) exec(fn *cdfg.Function, f *frame) (int32, error) {
+	b := fn.Entry()
+	for {
+		if m.OnBlock != nil {
+			m.OnBlock(b)
+		}
+		m.Steps += uint64(len(b.Instrs))
+		if m.Limit != 0 && m.Steps > m.Limit {
+			return 0, ErrLimit
+		}
+		var next *cdfg.Block
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			switch in.Op {
+			case cdfg.OpMov:
+				m.set(f, in.Dst, m.get(f, in.A))
+			case cdfg.OpAdd:
+				m.set(f, in.Dst, m.get(f, in.A)+m.get(f, in.B))
+			case cdfg.OpSub:
+				m.set(f, in.Dst, m.get(f, in.A)-m.get(f, in.B))
+			case cdfg.OpMul:
+				m.set(f, in.Dst, m.get(f, in.A)*m.get(f, in.B))
+			case cdfg.OpDiv:
+				m.set(f, in.Dst, cfront.FoldBinary(cfront.TokSlash, m.get(f, in.A), m.get(f, in.B)))
+			case cdfg.OpRem:
+				m.set(f, in.Dst, cfront.FoldBinary(cfront.TokPercent, m.get(f, in.A), m.get(f, in.B)))
+			case cdfg.OpAnd:
+				m.set(f, in.Dst, m.get(f, in.A)&m.get(f, in.B))
+			case cdfg.OpOr:
+				m.set(f, in.Dst, m.get(f, in.A)|m.get(f, in.B))
+			case cdfg.OpXor:
+				m.set(f, in.Dst, m.get(f, in.A)^m.get(f, in.B))
+			case cdfg.OpShl:
+				m.set(f, in.Dst, m.get(f, in.A)<<(uint32(m.get(f, in.B))&31))
+			case cdfg.OpShr:
+				m.set(f, in.Dst, m.get(f, in.A)>>(uint32(m.get(f, in.B))&31))
+			case cdfg.OpNeg:
+				m.set(f, in.Dst, -m.get(f, in.A))
+			case cdfg.OpNot:
+				m.set(f, in.Dst, ^m.get(f, in.A))
+			case cdfg.OpCmpEq:
+				m.set(f, in.Dst, b2i(m.get(f, in.A) == m.get(f, in.B)))
+			case cdfg.OpCmpNe:
+				m.set(f, in.Dst, b2i(m.get(f, in.A) != m.get(f, in.B)))
+			case cdfg.OpCmpLt:
+				m.set(f, in.Dst, b2i(m.get(f, in.A) < m.get(f, in.B)))
+			case cdfg.OpCmpLe:
+				m.set(f, in.Dst, b2i(m.get(f, in.A) <= m.get(f, in.B)))
+			case cdfg.OpCmpGt:
+				m.set(f, in.Dst, b2i(m.get(f, in.A) > m.get(f, in.B)))
+			case cdfg.OpCmpGe:
+				m.set(f, in.Dst, b2i(m.get(f, in.A) >= m.get(f, in.B)))
+			case cdfg.OpLoad:
+				arr := m.array(f, in.Arr)
+				idx := m.get(f, in.A)
+				if idx < 0 || int(idx) >= len(arr) {
+					return 0, m.runtimeErr(in.Pos, "index %d out of range [0,%d) in %s", idx, len(arr), fn.Name)
+				}
+				m.set(f, in.Dst, arr[idx])
+			case cdfg.OpStore:
+				arr := m.array(f, in.Arr)
+				idx := m.get(f, in.A)
+				if idx < 0 || int(idx) >= len(arr) {
+					return 0, m.runtimeErr(in.Pos, "index %d out of range [0,%d) in %s", idx, len(arr), fn.Name)
+				}
+				arr[idx] = m.get(f, in.B)
+			case cdfg.OpCall:
+				args := make([]Arg, len(in.Args))
+				for ai, ar := range in.Args {
+					if ai < len(in.Callee.Params) && in.Callee.Params[ai].IsArray {
+						args[ai] = Arg{Arr: m.array(f, ar)}
+					} else {
+						args[ai] = Arg{Scalar: m.get(f, ar)}
+					}
+				}
+				v, err := m.Call(in.Callee, args)
+				if err != nil {
+					return 0, err
+				}
+				if in.Dst.Kind != cdfg.RefNone {
+					m.set(f, in.Dst, v)
+				}
+			case cdfg.OpSend:
+				n := m.get(f, in.A)
+				arr := m.array(f, in.Arr)
+				if n < 0 || int(n) > len(arr) {
+					return 0, m.runtimeErr(in.Pos, "send count %d out of range [0,%d]", n, len(arr))
+				}
+				if m.Send == nil {
+					return 0, m.runtimeErr(in.Pos, "send on channel %d: process has no channel binding", in.Chan)
+				}
+				if err := m.Send(in.Chan, arr[:n]); err != nil {
+					return 0, err
+				}
+			case cdfg.OpRecv:
+				n := m.get(f, in.A)
+				arr := m.array(f, in.Arr)
+				if n < 0 || int(n) > len(arr) {
+					return 0, m.runtimeErr(in.Pos, "recv count %d out of range [0,%d]", n, len(arr))
+				}
+				if m.Recv == nil {
+					return 0, m.runtimeErr(in.Pos, "recv on channel %d: process has no channel binding", in.Chan)
+				}
+				if err := m.Recv(in.Chan, arr[:n]); err != nil {
+					return 0, err
+				}
+			case cdfg.OpOut:
+				m.Out = append(m.Out, m.get(f, in.A))
+			case cdfg.OpBr:
+				if m.get(f, in.A) != 0 {
+					next = in.Then
+				} else {
+					next = in.Else
+				}
+			case cdfg.OpJmp:
+				next = in.Target
+			case cdfg.OpRet:
+				if in.A.Kind == cdfg.RefNone {
+					return 0, nil
+				}
+				return m.get(f, in.A), nil
+			case cdfg.OpNop:
+				// nothing
+			default:
+				return 0, m.runtimeErr(in.Pos, "unknown opcode %v", in.Op)
+			}
+		}
+		if next == nil {
+			return 0, fmt.Errorf("interp: block bb%d of %s fell through without terminator", b.ID, fn.Name)
+		}
+		b = next
+	}
+}
+
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}

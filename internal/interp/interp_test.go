@@ -1,0 +1,366 @@
+package interp
+
+import (
+	"errors"
+	"testing"
+
+	"ese/internal/cdfg"
+	"ese/internal/cfront"
+)
+
+// compile lowers a source string all the way to IR.
+func compile(t *testing.T, src string) *cdfg.Program {
+	t.Helper()
+	f, err := cfront.Parse("t.c", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	u, err := cfront.Check(f)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	p, err := cdfg.Lower(u)
+	if err != nil {
+		t.Fatalf("Lower: %v", err)
+	}
+	return p
+}
+
+// run executes main() and returns the out() stream.
+func run(t *testing.T, src string) []int32 {
+	t.Helper()
+	p := compile(t, src)
+	m := New(p)
+	m.Limit = 50_000_000
+	if err := m.Run("main"); err != nil {
+		t.Fatalf("Run: %v\nIR:\n%s", err, p.Dump())
+	}
+	return m.Out
+}
+
+func expectOut(t *testing.T, src string, want ...int32) {
+	t.Helper()
+	got := run(t, src)
+	if len(got) != len(want) {
+		t.Fatalf("out = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("out = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	expectOut(t, `
+int x;
+void main() {
+  x = 6;
+  out(x * 7);
+  out(x - 10);
+  out(x / 4);
+  out(x % 4);
+  out(-x);
+  out(~x);
+  out(x << 2);
+  out(x >> 1);
+  out(x & 3);
+  out(x | 9);
+  out(x ^ 5);
+}`, 42, -4, 1, 2, -6, -7, 24, 3, 2, 15, 3)
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	expectOut(t, `
+void main() {
+  int a = 3;
+  int b = 5;
+  out(a < b);
+  out(a > b);
+  out(a <= 3);
+  out(a >= 4);
+  out(a == 3);
+  out(a != 3);
+  out(!a);
+  out(a < b && b < 10);
+  out(a > b || b == 5);
+  out(a < b ? 100 : 200);
+  out(a > b ? 100 : 200);
+}`, 1, 0, 1, 0, 1, 0, 0, 1, 1, 100, 200)
+}
+
+func TestShortCircuitSkipsSideEffects(t *testing.T) {
+	// Division guarded by && must not fault or change results when the
+	// guard is false.
+	expectOut(t, `
+int calls;
+int bump() { calls += 1; return 1; }
+void main() {
+  int x = 0;
+  if (x != 0 && bump()) { out(99); }
+  out(calls);
+  if (x == 0 || bump()) { out(7); }
+  out(calls);
+}`, 0, 7, 0)
+}
+
+func TestLoops(t *testing.T) {
+	expectOut(t, `
+void main() {
+  int s = 0;
+  int i;
+  for (i = 1; i <= 10; i++) s += i;
+  out(s);
+  s = 0;
+  i = 0;
+  while (i < 5) { s += 2; i++; }
+  out(s);
+  s = 0;
+  i = 0;
+  do { s++; i++; } while (i < 3);
+  out(s);
+}`, 55, 10, 3)
+}
+
+func TestBreakContinue(t *testing.T) {
+	expectOut(t, `
+void main() {
+  int s = 0;
+  int i;
+  for (i = 0; i < 100; i++) {
+    if (i == 5) break;
+    if (i % 2 == 0) continue;
+    s += i;
+  }
+  out(s);
+  out(i);
+}`, 4, 5) // 1 + 3
+}
+
+func TestArraysAndFunctions(t *testing.T) {
+	expectOut(t, `
+int tab[5] = {10, 20, 30, 40, 50};
+int sum(int a[], int n) {
+  int s = 0;
+  int i;
+  for (i = 0; i < n; i++) s += a[i];
+  return s;
+}
+void scale(int a[], int n, int k) {
+  int i;
+  for (i = 0; i < n; i++) a[i] *= k;
+}
+void main() {
+  out(sum(tab, 5));
+  scale(tab, 5, 2);
+  out(sum(tab, 5));
+  int loc[4] = {1, 2, 3, 4};
+  scale(loc, 4, 3);
+  out(sum(loc, 4));
+}`, 150, 300, 30)
+}
+
+func TestLocalZeroInit(t *testing.T) {
+	expectOut(t, `
+void main() {
+  int x;
+  int a[3];
+  out(x);
+  out(a[0] + a[1] + a[2]);
+  int b[4] = {7};
+  out(b[0]);
+  out(b[3]);
+}`, 0, 0, 7, 0)
+}
+
+func TestRecursion(t *testing.T) {
+	expectOut(t, `
+int fib(int n) {
+  if (n < 2) return n;
+  return fib(n - 1) + fib(n - 2);
+}
+void main() { out(fib(12)); }`, 144)
+}
+
+func TestGlobalStatePersistsAcrossCalls(t *testing.T) {
+	expectOut(t, `
+int counter;
+void tick() { counter += 1; }
+void main() {
+  tick(); tick(); tick();
+  out(counter);
+}`, 3)
+}
+
+func TestCompoundAssignOnArrayEvaluatesIndexOnce(t *testing.T) {
+	expectOut(t, `
+int a[4] = {0, 10, 20, 30};
+int i;
+int next() { i += 1; return i; }
+void main() {
+  a[next()] += 5;
+  out(i);
+  out(a[1]);
+}`, 1, 15)
+}
+
+func TestWrapAroundArithmetic(t *testing.T) {
+	expectOut(t, `
+void main() {
+  int big = 2147483647;
+  out(big + 1);
+  int m = -2147483647 - 1;
+  out(m / -1);
+  out(m % -1);
+  out(5 / 0);
+  out(5 % 0);
+}`, -2147483648, -2147483648, 0, 0, 0)
+}
+
+func TestFallOffEndReturnsZero(t *testing.T) {
+	expectOut(t, `
+int f(int x) { if (x > 0) return 1; }
+void main() { out(f(1)); out(f(-1)); }`, 1, 0)
+}
+
+func TestIndexOutOfRangeFaults(t *testing.T) {
+	p := compile(t, `
+int a[3];
+void main() { int i = 7; a[i] = 1; }`)
+	m := New(p)
+	if err := m.Run("main"); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	p := compile(t, `void main() { while (1) {} }`)
+	m := New(p)
+	m.Limit = 1000
+	err := m.Run("main")
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("err = %v, want ErrLimit", err)
+	}
+}
+
+func TestResetRestoresGlobals(t *testing.T) {
+	p := compile(t, `
+int g = 5;
+int a[2] = {1, 2};
+void main() { g = 99; a[0] = 42; out(g); }`)
+	m := New(p)
+	if err := m.Run("main"); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	m.Reset()
+	if m.Globals[0][0] != 5 || m.Globals[1][0] != 1 {
+		t.Fatalf("globals after reset = %v", m.Globals)
+	}
+	if len(m.Out) != 0 || m.Steps != 0 {
+		t.Fatalf("out/steps not reset: %v %d", m.Out, m.Steps)
+	}
+}
+
+func TestSendRecvHooks(t *testing.T) {
+	p := compile(t, `
+int buf[4] = {1, 2, 3, 4};
+int rbuf[4];
+void main() {
+  send(2, buf, 4);
+  recv(3, rbuf, 4);
+  out(rbuf[0] + rbuf[3]);
+}`)
+	m := New(p)
+	var sentCh int
+	var sent []int32
+	m.Send = func(ch int, data []int32) error {
+		sentCh = ch
+		sent = append([]int32(nil), data...)
+		return nil
+	}
+	m.Recv = func(ch int, buf []int32) error {
+		for i := range buf {
+			buf[i] = int32(ch * 10)
+		}
+		return nil
+	}
+	if err := m.Run("main"); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sentCh != 2 || len(sent) != 4 || sent[3] != 4 {
+		t.Fatalf("send hook saw ch=%d data=%v", sentCh, sent)
+	}
+	if m.Out[0] != 60 {
+		t.Fatalf("out = %v, want [60]", m.Out)
+	}
+}
+
+func TestOnBlockHookSeesEveryBlock(t *testing.T) {
+	p := compile(t, `
+void main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 3; i++) s += i;
+  out(s);
+}`)
+	m := New(p)
+	count := 0
+	m.OnBlock = func(b *cdfg.Block) { count++ }
+	if err := m.Run("main"); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// entry + 4 head evals + 3 bodies + 3 posts + exit (exact shape may
+	// vary, but the hook must fire more than once per loop iteration).
+	if count < 8 {
+		t.Fatalf("OnBlock fired %d times, want >= 8", count)
+	}
+	if m.Steps == 0 {
+		t.Fatal("Steps not counted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	p := compile(t, `int f(int x) { return x; } void main() { out(f(1)); }`)
+	m := New(p)
+	if err := m.Run("missing"); err == nil {
+		t.Error("missing entry accepted")
+	}
+	if err := m.Run("f"); err == nil {
+		t.Error("entry with params accepted")
+	}
+	// Call with wrong arity through the API.
+	if _, err := m.Call(p.Func("f"), nil); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	// Nil array argument.
+	p2 := compile(t, `void g(int a[]) { a[0] = 1; } void main() { }`)
+	m2 := New(p2)
+	if _, err := m2.Call(p2.Func("g"), []Arg{{}}); err == nil {
+		t.Error("nil array argument accepted")
+	}
+}
+
+func TestNegativeSendCountFaults(t *testing.T) {
+	p := compile(t, `
+int b[4];
+int n = -1;
+void main() { send(0, b, n); }`)
+	m := New(p)
+	m.Send = func(ch int, data []int32) error { return nil }
+	if err := m.Run("main"); err == nil {
+		t.Error("negative send count accepted")
+	}
+}
+
+func TestRecursionDepth(t *testing.T) {
+	p := compile(t, `
+int down(int n) { if (n == 0) return 0; return down(n - 1) + 1; }
+void main() { out(down(5000)); }`)
+	m := New(p)
+	if err := m.Run("main"); err != nil {
+		t.Fatalf("deep recursion failed: %v", err)
+	}
+	if m.Out[0] != 5000 {
+		t.Fatalf("out = %v", m.Out)
+	}
+}

@@ -1,0 +1,229 @@
+package iss
+
+import (
+	"fmt"
+
+	"ese/internal/cdfg"
+)
+
+// Generate lowers a CDFG program to the virtual ISA. Every IR operation
+// becomes exactly one instruction; branch targets are patched after layout.
+func Generate(prog *cdfg.Program) (*Program, error) {
+	g := &generator{
+		src: prog,
+		out: &Program{ByName: make(map[string]int)},
+	}
+	g.layoutGlobals()
+	// Assign function IDs first so calls can reference forward functions.
+	for i, fn := range prog.Funcs {
+		g.out.Funcs = append(g.out.Funcs, FuncInfo{
+			Name:       fn.Name,
+			ID:         i,
+			ReturnsInt: fn.ReturnsInt,
+			NumParams:  len(fn.Params),
+		})
+		g.out.ByName[fn.Name] = i
+	}
+	for i, fn := range prog.Funcs {
+		if err := g.genFunc(i, fn); err != nil {
+			return nil, err
+		}
+	}
+	return g.out, nil
+}
+
+type generator struct {
+	src *cdfg.Program
+	out *Program
+
+	// Per-function state.
+	fn       *cdfg.Function
+	slotReg  []int   // scalar slot / array-param slot -> register
+	slotOff  []int32 // local array slot -> frame word offset
+	tempBase int
+	blockIdx map[*cdfg.Block]int // block -> first instruction index
+	fixups   []fixup
+}
+
+type fixup struct {
+	inst   int
+	then   *cdfg.Block
+	els    *cdfg.Block
+	target *cdfg.Block
+}
+
+// layoutGlobals assigns addresses in the global segment and builds the
+// initial memory image.
+func (g *generator) layoutGlobals() {
+	var image []int32
+	for _, gl := range g.src.Globals {
+		addr := GlobalBase + uint32(len(image))*4
+		g.out.GlobalAddrs = append(g.out.GlobalAddrs, addr)
+		buf := make([]int32, gl.Size)
+		copy(buf, gl.Init)
+		image = append(image, buf...)
+	}
+	g.out.Globals = image
+}
+
+// genFunc lowers one function: registers for scalars and temps, frame
+// offsets for local arrays, then instruction selection per block.
+func (g *generator) genFunc(id int, fn *cdfg.Function) error {
+	g.fn = fn
+	g.slotReg = make([]int, len(fn.Slots))
+	g.slotOff = make([]int32, len(fn.Slots))
+	nregs := 0
+	frame := int32(0)
+	for i, s := range fn.Slots {
+		switch {
+		case s.IsArray && !s.IsParam:
+			g.slotOff[i] = frame
+			g.slotReg[i] = -1
+			frame += s.Size
+		default:
+			// Scalars and array params (address value) live in registers.
+			g.slotReg[i] = nregs
+			nregs++
+		}
+	}
+	g.tempBase = nregs
+	nregs += fn.NTemps
+
+	fi := &g.out.Funcs[id]
+	fi.Entry = len(g.out.Instrs)
+	fi.NRegs = nregs
+	fi.FrameWords = int(frame)
+
+	g.blockIdx = make(map[*cdfg.Block]int, len(fn.Blocks))
+	g.fixups = g.fixups[:0]
+	for _, b := range fn.Blocks {
+		g.blockIdx[b] = len(g.out.Instrs)
+		for i := range b.Instrs {
+			if err := g.genInstr(&b.Instrs[i]); err != nil {
+				return fmt.Errorf("%s: %w", fn.Name, err)
+			}
+		}
+	}
+	// Patch branch targets now that every block has an address.
+	for _, fx := range g.fixups {
+		in := &g.out.Instrs[fx.inst]
+		if fx.target != nil {
+			in.Target = g.blockIdx[fx.target]
+		}
+		if fx.then != nil {
+			in.Target = g.blockIdx[fx.then]
+		}
+		if fx.els != nil {
+			in.Else = g.blockIdx[fx.els]
+		}
+	}
+	return nil
+}
+
+// operand converts an IR value ref.
+func (g *generator) operand(r cdfg.Ref) Operand {
+	switch r.Kind {
+	case cdfg.RefConst:
+		return Operand{Kind: OpdImm, Imm: r.Val}
+	case cdfg.RefTemp:
+		return Operand{Kind: OpdReg, Reg: g.tempBase + r.Idx}
+	case cdfg.RefSlot:
+		return Operand{Kind: OpdReg, Reg: g.slotReg[r.Idx]}
+	case cdfg.RefGlobal:
+		return Operand{Kind: OpdGlob, Addr: g.out.GlobalAddrs[r.Idx]}
+	}
+	return Operand{Kind: OpdNone}
+}
+
+// dest converts an IR destination ref.
+func (g *generator) dest(r cdfg.Ref) Dest {
+	switch r.Kind {
+	case cdfg.RefTemp:
+		return Dest{Kind: DstReg, Reg: g.tempBase + r.Idx}
+	case cdfg.RefSlot:
+		return Dest{Kind: DstReg, Reg: g.slotReg[r.Idx]}
+	case cdfg.RefGlobal:
+		return Dest{Kind: DstGlob, Addr: g.out.GlobalAddrs[r.Idx]}
+	}
+	return Dest{Kind: DstNone}
+}
+
+// arrayBase converts an IR array base ref into base addressing fields.
+func (g *generator) arrayBase(in *Inst, r cdfg.Ref) {
+	if r.Kind == cdfg.RefGlobal {
+		in.Base = BaseGlob
+		in.BaseAddr = g.out.GlobalAddrs[r.Idx]
+		return
+	}
+	s := g.fn.Slots[r.Idx]
+	if s.IsParam && s.IsArray {
+		in.Base = BaseReg
+		in.BaseReg = g.slotReg[r.Idx]
+		return
+	}
+	in.Base = BaseFrame
+	in.BaseOff = g.slotOff[r.Idx]
+}
+
+// addrOperand builds an address-of operand for an array call argument.
+func (g *generator) addrOperand(r cdfg.Ref) Operand {
+	if r.Kind == cdfg.RefGlobal {
+		return Operand{Kind: OpdAddrImm, Addr: g.out.GlobalAddrs[r.Idx]}
+	}
+	s := g.fn.Slots[r.Idx]
+	if s.IsParam && s.IsArray {
+		return Operand{Kind: OpdAddrReg, Reg: g.slotReg[r.Idx]}
+	}
+	return Operand{Kind: OpdAddrFrame, Imm: g.slotOff[r.Idx]}
+}
+
+func (g *generator) genInstr(ir *cdfg.Instr) error {
+	in := Inst{Op: ir.Op}
+	switch ir.Op {
+	case cdfg.OpLoad:
+		in.Dst = g.dest(ir.Dst)
+		in.A = g.operand(ir.A)
+		g.arrayBase(&in, ir.Arr)
+	case cdfg.OpStore:
+		in.A = g.operand(ir.A)
+		in.B = g.operand(ir.B)
+		g.arrayBase(&in, ir.Arr)
+	case cdfg.OpBr:
+		in.A = g.operand(ir.A)
+		g.fixups = append(g.fixups, fixup{inst: len(g.out.Instrs), then: ir.Then, els: ir.Else})
+	case cdfg.OpJmp:
+		g.fixups = append(g.fixups, fixup{inst: len(g.out.Instrs), target: ir.Target})
+	case cdfg.OpRet:
+		if ir.A.Kind != cdfg.RefNone {
+			in.A = g.operand(ir.A)
+		}
+	case cdfg.OpCall:
+		callee := g.out.ByName[ir.Callee.Name]
+		in.FnID = callee
+		in.Dst = g.dest(ir.Dst)
+		for ai, ar := range ir.Args {
+			if ai < len(ir.Callee.Params) && ir.Callee.Params[ai].IsArray {
+				in.Args = append(in.Args, g.addrOperand(ar))
+			} else {
+				in.Args = append(in.Args, g.operand(ar))
+			}
+		}
+	case cdfg.OpSend, cdfg.OpRecv:
+		in.A = g.operand(ir.A) // word count
+		in.Chan = ir.Chan
+		g.arrayBase(&in, ir.Arr)
+	case cdfg.OpOut:
+		in.A = g.operand(ir.A)
+	case cdfg.OpNop:
+		// Encoded as-is; executes as a no-op.
+	default:
+		// Arithmetic, logic, compares, mov.
+		in.Dst = g.dest(ir.Dst)
+		in.A = g.operand(ir.A)
+		if ir.Op != cdfg.OpMov && ir.Op != cdfg.OpNeg && ir.Op != cdfg.OpNot {
+			in.B = g.operand(ir.B)
+		}
+	}
+	g.out.Instrs = append(g.out.Instrs, in)
+	return nil
+}

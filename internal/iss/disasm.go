@@ -1,0 +1,115 @@
+package iss
+
+import (
+	"fmt"
+	"strings"
+
+	"ese/internal/cdfg"
+)
+
+// operandString renders an operand in assembly-ish syntax.
+func operandString(o Operand) string {
+	switch o.Kind {
+	case OpdImm:
+		return fmt.Sprintf("#%d", o.Imm)
+	case OpdReg:
+		return fmt.Sprintf("r%d", o.Reg)
+	case OpdGlob:
+		return fmt.Sprintf("[0x%x]", o.Addr)
+	case OpdAddrImm:
+		return fmt.Sprintf("&0x%x", o.Addr)
+	case OpdAddrFrame:
+		return fmt.Sprintf("&fp+%d", o.Imm*4)
+	case OpdAddrReg:
+		return fmt.Sprintf("&r%d", o.Reg)
+	}
+	return "_"
+}
+
+func destString(d Dest) string {
+	switch d.Kind {
+	case DstReg:
+		return fmt.Sprintf("r%d", d.Reg)
+	case DstGlob:
+		return fmt.Sprintf("[0x%x]", d.Addr)
+	}
+	return "_"
+}
+
+func baseString(in *Inst) string {
+	switch in.Base {
+	case BaseGlob:
+		return fmt.Sprintf("0x%x", in.BaseAddr)
+	case BaseFrame:
+		return fmt.Sprintf("fp+%d", in.BaseOff*4)
+	case BaseReg:
+		return fmt.Sprintf("r%d", in.BaseReg)
+	}
+	return "?"
+}
+
+// DisasmInst renders one instruction.
+func DisasmInst(p *Program, idx int) string {
+	in := &p.Instrs[idx]
+	switch in.Op {
+	case cdfg.OpLoad:
+		return fmt.Sprintf("ld    %s, %s[%s]", destString(in.Dst), baseString(in), operandString(in.A))
+	case cdfg.OpStore:
+		return fmt.Sprintf("st    %s[%s], %s", baseString(in), operandString(in.A), operandString(in.B))
+	case cdfg.OpBr:
+		return fmt.Sprintf("br    %s, @%d, @%d", operandString(in.A), in.Target, in.Else)
+	case cdfg.OpJmp:
+		return fmt.Sprintf("jmp   @%d", in.Target)
+	case cdfg.OpRet:
+		if in.A.Kind == OpdNone {
+			return "ret"
+		}
+		return fmt.Sprintf("ret   %s", operandString(in.A))
+	case cdfg.OpCall:
+		var args []string
+		for _, a := range in.Args {
+			args = append(args, operandString(a))
+		}
+		callee := "?"
+		if in.FnID >= 0 && in.FnID < len(p.Funcs) {
+			callee = p.Funcs[in.FnID].Name
+		}
+		dst := ""
+		if in.Dst.Kind != DstNone {
+			dst = destString(in.Dst) + ", "
+		}
+		return fmt.Sprintf("call  %s%s(%s)", dst, callee, strings.Join(args, ", "))
+	case cdfg.OpSend:
+		return fmt.Sprintf("send  ch%d, %s, %s", in.Chan, baseString(in), operandString(in.A))
+	case cdfg.OpRecv:
+		return fmt.Sprintf("recv  ch%d, %s, %s", in.Chan, baseString(in), operandString(in.A))
+	case cdfg.OpOut:
+		return fmt.Sprintf("out   %s", operandString(in.A))
+	case cdfg.OpMov:
+		return fmt.Sprintf("mov   %s, %s", destString(in.Dst), operandString(in.A))
+	case cdfg.OpNeg, cdfg.OpNot:
+		return fmt.Sprintf("%-5s %s, %s", in.Op, destString(in.Dst), operandString(in.A))
+	case cdfg.OpNop:
+		return "nop"
+	default:
+		return fmt.Sprintf("%-5s %s, %s, %s", in.Op, destString(in.Dst),
+			operandString(in.A), operandString(in.B))
+	}
+}
+
+// Disassemble renders the whole program with function headers and
+// instruction addresses.
+func Disassemble(p *Program) string {
+	byEntry := make(map[int]*FuncInfo, len(p.Funcs))
+	for i := range p.Funcs {
+		byEntry[p.Funcs[i].Entry] = &p.Funcs[i]
+	}
+	var sb strings.Builder
+	for i := range p.Instrs {
+		if fi, ok := byEntry[i]; ok {
+			fmt.Fprintf(&sb, "\n%s:  ; regs=%d frame=%d words\n", fi.Name, fi.NRegs, fi.FrameWords)
+		}
+		fmt.Fprintf(&sb, "  %4d  %s\n", i, DisasmInst(p, i))
+	}
+	return sb.String()
+}

@@ -1,0 +1,165 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+
+	"ese/internal/cdfg"
+	"ese/internal/cfront"
+	"ese/internal/pum"
+)
+
+func compile(t *testing.T, src string) *cdfg.Program {
+	t.Helper()
+	f, err := cfront.Parse("t.c", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	u, err := cfront.Check(f)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	p, err := cdfg.Lower(u)
+	if err != nil {
+		t.Fatalf("Lower: %v", err)
+	}
+	return p
+}
+
+const twoProcSrc = `
+int b[4];
+void producer() { send(0, b, 4); }
+void consumer() { int r[4]; recv(0, r, 4); out(r[0]); }
+`
+
+func design(t *testing.T, src string) *Design {
+	t.Helper()
+	prog := compile(t, src)
+	mb, err := pum.MicroBlaze().WithCache(pum.CacheCfg{ISize: 2048, DSize: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Design{
+		Name:    "d",
+		Program: prog,
+		Bus:     DefaultBus(),
+		PEs: []*PE{
+			{Name: "p0", Kind: Processor, Entry: "producer", PUM: mb},
+			{Name: "p1", Kind: HWUnit, Entry: "consumer", PUM: pum.CustomHW("hw", 1e8)},
+		},
+	}
+}
+
+func TestValidateAcceptsGoodDesign(t *testing.T) {
+	d := design(t, twoProcSrc)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if err := d.ValidateChannels(); err != nil {
+		t.Fatalf("ValidateChannels: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(d *Design)
+		want string
+	}{
+		{"no name", func(d *Design) { d.Name = "" }, "needs a name"},
+		{"no program", func(d *Design) { d.Program = nil }, "no program"},
+		{"no pes", func(d *Design) { d.PEs = nil }, "no PEs"},
+		{"dup pe", func(d *Design) { d.PEs[1].Name = "p0" }, "duplicate PE"},
+		{"no pum", func(d *Design) { d.PEs[0].PUM = nil }, "no PUM"},
+		{"bad entry", func(d *Design) { d.PEs[0].Entry = "nope" }, "not in program"},
+		{"bad bus", func(d *Design) { d.Bus.WordCycles = 0 }, "bus"},
+	}
+	for _, tc := range cases {
+		d := design(t, twoProcSrc)
+		tc.mut(d)
+		err := d.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestValidateEntryWithParams(t *testing.T) {
+	d := design(t, `
+void producer(int x) { out(x); }
+void consumer() { out(1); }
+`)
+	err := d.Validate()
+	if err == nil || !strings.Contains(err.Error(), "no parameters") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestChannelUsageAndValidation(t *testing.T) {
+	d := design(t, twoProcSrc)
+	usage := d.Channels()
+	if len(usage) != 1 {
+		t.Fatalf("channels = %d, want 1", len(usage))
+	}
+	u := usage[0]
+	if len(u.Senders) != 1 || u.Senders[0] != "p0" {
+		t.Fatalf("senders = %v", u.Senders)
+	}
+	if len(u.Receivers) != 1 || u.Receivers[0] != "p1" {
+		t.Fatalf("receivers = %v", u.Receivers)
+	}
+}
+
+func TestValidateChannelsRejectsTwoSenders(t *testing.T) {
+	d := design(t, `
+int b[2];
+void producer() { send(0, b, 2); }
+void consumer() { send(0, b, 2); int r[2]; recv(0, r, 2); }
+`)
+	if err := d.ValidateChannels(); err == nil {
+		t.Fatal("two senders accepted")
+	}
+}
+
+func TestValidateChannelsRejectsSelfLoop(t *testing.T) {
+	d := design(t, `
+int b[2];
+void producer() { send(0, b, 2); int r[2]; recv(0, r, 2); }
+void consumer() { out(1); }
+`)
+	if err := d.ValidateChannels(); err == nil {
+		t.Fatal("self-loop channel accepted")
+	}
+}
+
+func TestChannelsSeenThroughCallGraph(t *testing.T) {
+	// Channel usage inside helper functions is attributed to the PE whose
+	// entry reaches them.
+	d := design(t, `
+int b[2];
+void helper() { send(0, b, 2); }
+void producer() { helper(); }
+void consumer() { int r[2]; recv(0, r, 2); }
+`)
+	u := d.Channels()[0]
+	if len(u.Senders) != 1 || u.Senders[0] != "p0" {
+		t.Fatalf("call-graph channel scan failed: %+v", u)
+	}
+}
+
+func TestGraphRendering(t *testing.T) {
+	d := design(t, twoProcSrc)
+	g := d.Graph()
+	for _, want := range []string{"design d", "p0", "p1", "ch0", "[p0] -> [p1]"} {
+		if !strings.Contains(g, want) {
+			t.Errorf("graph missing %q:\n%s", want, g)
+		}
+	}
+}
+
+func TestPEByName(t *testing.T) {
+	d := design(t, twoProcSrc)
+	if d.PEByName("p1") == nil || d.PEByName("zz") != nil {
+		t.Fatal("PEByName broken")
+	}
+}

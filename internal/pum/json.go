@@ -1,0 +1,162 @@
+package pum
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"ese/internal/cdfg"
+)
+
+// JSON (de)serialization of PUMs. This is the retargeting interface: a new
+// processing element is described by a JSON file and fed to the estimator
+// without recompiling the tool.
+
+type jsonPUM struct {
+	Name      string                `json:"name"`
+	ClockHz   int64                 `json:"clock_hz"`
+	Policy    string                `json:"policy"`
+	Pipelined bool                  `json:"pipelined"`
+	Pipelines []jsonPipeline        `json:"pipelines"`
+	FUs       []jsonFU              `json:"fus"`
+	Ops       map[string]jsonOpInfo `json:"ops"`
+	Branch    jsonBranch            `json:"branch"`
+	Mem       jsonMem               `json:"mem"`
+}
+
+type jsonPipeline struct {
+	Name       string   `json:"name"`
+	Stages     []string `json:"stages"`
+	IssueWidth int      `json:"issue_width"`
+}
+
+type jsonFU struct {
+	ID       string `json:"id"`
+	Quantity int    `json:"quantity"`
+}
+
+type jsonStageUse struct {
+	FU     string `json:"fu,omitempty"`
+	Cycles int    `json:"cycles"`
+}
+
+type jsonOpInfo struct {
+	Stages []jsonStageUse `json:"stages"`
+	Demand int            `json:"demand"`
+	Commit int            `json:"commit"`
+}
+
+type jsonBranch struct {
+	Predictor string  `json:"predictor"`
+	MissRate  float64 `json:"miss_rate"`
+	Penalty   float64 `json:"penalty"`
+}
+
+type jsonMem struct {
+	HasICache  bool           `json:"has_icache"`
+	HasDCache  bool           `json:"has_dcache"`
+	ExtLatency float64        `json:"ext_latency"`
+	Table      []jsonMemEntry `json:"table"`
+}
+
+type jsonMemEntry struct {
+	ISize int `json:"isize"`
+	DSize int `json:"dsize"`
+	MemStats
+}
+
+var classByName = map[string]cdfg.Class{
+	"alu": cdfg.ClassALU, "mul": cdfg.ClassMul, "div": cdfg.ClassDiv,
+	"shift": cdfg.ClassShift, "load": cdfg.ClassLoad, "store": cdfg.ClassStore,
+	"branch": cdfg.ClassBranch, "jump": cdfg.ClassJump, "call": cdfg.ClassCall,
+	"io": cdfg.ClassIO,
+}
+
+// FromJSON parses and validates a PUM description.
+func FromJSON(data []byte) (*PUM, error) {
+	var j jsonPUM
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, fmt.Errorf("pum: parsing JSON: %w", err)
+	}
+	pol, err := ParsePolicy(j.Policy)
+	if err != nil {
+		return nil, err
+	}
+	p := &PUM{
+		Name:      j.Name,
+		ClockHz:   j.ClockHz,
+		Policy:    pol,
+		Pipelined: j.Pipelined,
+		Branch:    BranchModel(j.Branch),
+		Mem: MemModel{
+			HasICache:  j.Mem.HasICache,
+			HasDCache:  j.Mem.HasDCache,
+			ExtLatency: j.Mem.ExtLatency,
+			Table:      make(map[CacheCfg]MemStats, len(j.Mem.Table)),
+		},
+		Ops: make(map[cdfg.Class]OpInfo, len(j.Ops)),
+	}
+	for _, pl := range j.Pipelines {
+		p.Pipelines = append(p.Pipelines, Pipeline(pl))
+	}
+	for _, fu := range j.FUs {
+		p.FUs = append(p.FUs, FU(fu))
+	}
+	for name, info := range j.Ops {
+		cls, ok := classByName[name]
+		if !ok {
+			return nil, fmt.Errorf("pum: unknown operation class %q", name)
+		}
+		oi := OpInfo{Demand: info.Demand, Commit: info.Commit}
+		for _, su := range info.Stages {
+			oi.Stages = append(oi.Stages, StageUse(su))
+		}
+		p.Ops[cls] = oi
+	}
+	for _, e := range j.Mem.Table {
+		p.Mem.Table[CacheCfg{ISize: e.ISize, DSize: e.DSize}] = e.MemStats
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ToJSON serializes a PUM to its JSON description.
+func (p *PUM) ToJSON() ([]byte, error) {
+	j := jsonPUM{
+		Name:      p.Name,
+		ClockHz:   p.ClockHz,
+		Policy:    p.Policy.String(),
+		Pipelined: p.Pipelined,
+		Branch:    jsonBranch(p.Branch),
+		Mem: jsonMem{
+			HasICache:  p.Mem.HasICache,
+			HasDCache:  p.Mem.HasDCache,
+			ExtLatency: p.Mem.ExtLatency,
+		},
+		Ops: make(map[string]jsonOpInfo, len(p.Ops)),
+	}
+	for _, pl := range p.Pipelines {
+		j.Pipelines = append(j.Pipelines, jsonPipeline(pl))
+	}
+	for _, fu := range p.FUs {
+		j.FUs = append(j.FUs, jsonFU(fu))
+	}
+	for name, cls := range classByName {
+		info, ok := p.Ops[cls]
+		if !ok {
+			continue
+		}
+		ji := jsonOpInfo{Demand: info.Demand, Commit: info.Commit}
+		for _, su := range info.Stages {
+			ji.Stages = append(ji.Stages, jsonStageUse(su))
+		}
+		j.Ops[name] = ji
+	}
+	for _, cfg := range p.Configs() {
+		j.Mem.Table = append(j.Mem.Table, jsonMemEntry{
+			ISize: cfg.ISize, DSize: cfg.DSize, MemStats: p.Mem.Table[cfg],
+		})
+	}
+	return json.MarshalIndent(&j, "", "  ")
+}

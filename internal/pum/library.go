@@ -1,0 +1,209 @@
+package pum
+
+import "ese/internal/cdfg"
+
+// This file holds the built-in PUM library: the two models the paper shows
+// as examples (a MicroBlaze-like embedded processor, Fig. 5, and a custom
+// hardware datapath in the style of the DCT unit, Fig. 4), plus a
+// dual-issue variant used by tests and ablations.
+
+// uniformStages builds a per-stage usage row for an n-stage pipeline where
+// only stage ex does real work (on fu, for cycles) and every other stage
+// takes one cycle.
+func uniformStages(n, ex int, fu string, cycles int) []StageUse {
+	st := make([]StageUse, n)
+	for i := range st {
+		st[i] = StageUse{Cycles: 1}
+	}
+	st[ex] = StageUse{FU: fu, Cycles: cycles}
+	return st
+}
+
+// MicroBlaze returns a PUM for a MicroBlaze-like single-issue, in-order,
+// 3-stage (IF/DE/EX) embedded soft processor with configurable instruction
+// and data caches, as in Fig. 5 of the paper. Memory statistics in the
+// table are nominal; calibration (see the experiments harness) replaces
+// them with values profiled on a training workload.
+func MicroBlaze() *PUM {
+	const nStages = 3
+	const exStage = 2
+	ops := map[cdfg.Class]OpInfo{
+		cdfg.ClassALU:   {Stages: uniformStages(nStages, exStage, "alu", 1), Demand: exStage, Commit: exStage},
+		cdfg.ClassShift: {Stages: uniformStages(nStages, exStage, "alu", 1), Demand: exStage, Commit: exStage},
+		cdfg.ClassMul:   {Stages: uniformStages(nStages, exStage, "mul", 3), Demand: exStage, Commit: exStage},
+		cdfg.ClassDiv:   {Stages: uniformStages(nStages, exStage, "div", 32), Demand: exStage, Commit: exStage},
+		cdfg.ClassLoad:  {Stages: uniformStages(nStages, exStage, "lsu", 1), Demand: exStage, Commit: exStage},
+		cdfg.ClassStore: {Stages: uniformStages(nStages, exStage, "lsu", 1), Demand: exStage, Commit: exStage},
+		// Control transfers: a not-taken conditional branch costs one EX
+		// cycle (the taken penalty is the statistical branch model);
+		// unconditional jumps and returns always redirect the 3-stage
+		// fetch pipeline (+2 bubbles); calls additionally shuffle the
+		// register window.
+		cdfg.ClassBranch: {Stages: uniformStages(nStages, exStage, "bru", 1), Demand: exStage, Commit: exStage},
+		cdfg.ClassJump:   {Stages: uniformStages(nStages, exStage, "bru", 3), Demand: exStage, Commit: exStage},
+		cdfg.ClassCall:   {Stages: uniformStages(nStages, exStage, "bru", 4), Demand: exStage, Commit: exStage},
+		cdfg.ClassIO:     {Stages: uniformStages(nStages, exStage, "lsu", 1), Demand: exStage, Commit: exStage},
+	}
+	return &PUM{
+		Name:      "microblaze",
+		ClockHz:   100_000_000,
+		Policy:    PolicyInOrder,
+		Pipelined: true,
+		Pipelines: []Pipeline{{Name: "main", Stages: []string{"IF", "DE", "EX"}, IssueWidth: 1}},
+		FUs: []FU{
+			{ID: "alu", Quantity: 1},
+			{ID: "mul", Quantity: 1},
+			{ID: "div", Quantity: 1},
+			{ID: "lsu", Quantity: 1},
+			{ID: "bru", Quantity: 1},
+		},
+		Ops: ops,
+		Branch: BranchModel{
+			Predictor: "static-nt",
+			MissRate:  0.4, // nominal; calibration overrides
+			Penalty:   2,
+		},
+		Mem: MemModel{
+			HasICache:  true,
+			HasDCache:  true,
+			ExtLatency: 8,
+			Table:      nominalCacheTable(8),
+		},
+	}
+}
+
+// StandardCacheConfigs are the five I/D cache configurations the paper
+// sweeps in Tables 2 and 3.
+var StandardCacheConfigs = []CacheCfg{
+	{ISize: 0, DSize: 0},
+	{ISize: 2 * 1024, DSize: 2 * 1024},
+	{ISize: 8 * 1024, DSize: 4 * 1024},
+	{ISize: 16 * 1024, DSize: 16 * 1024},
+	{ISize: 32 * 1024, DSize: 16 * 1024},
+}
+
+// nominalCacheTable provides order-of-magnitude default statistics for the
+// standard configurations, used before calibration.
+func nominalCacheTable(ext float64) map[CacheCfg]MemStats {
+	mk := func(ihit, dhit float64) MemStats {
+		return MemStats{
+			IHitRate: ihit, DHitRate: dhit,
+			IHitDelay: 0, DHitDelay: 0,
+			IMissPenalty: ext, DMissPenalty: ext,
+		}
+	}
+	return map[CacheCfg]MemStats{
+		{2 * 1024, 2 * 1024}:   mk(0.95, 0.88),
+		{8 * 1024, 4 * 1024}:   mk(0.99, 0.93),
+		{16 * 1024, 16 * 1024}: mk(0.995, 0.97),
+		{32 * 1024, 16 * 1024}: mk(0.999, 0.97),
+	}
+}
+
+// CustomHW returns a PUM for a synthesized custom hardware unit in the
+// style of the paper's DCT example (Fig. 4): a non-pipelined datapath
+// modeled as an equivalent single-issue pipeline with one stage, a
+// list-scheduling controller, multiple functional units, and single-cycle
+// block-RAM storage with no cache hierarchy.
+func CustomHW(name string, clockHz int64) *PUM {
+	one := func(fu string, cycles int) OpInfo {
+		return OpInfo{Stages: []StageUse{{FU: fu, Cycles: cycles}}, Demand: 0, Commit: 0}
+	}
+	return &PUM{
+		Name:      name,
+		ClockHz:   clockHz,
+		Policy:    PolicyList,
+		Pipelined: false,
+		Pipelines: []Pipeline{{Name: "dp", Stages: []string{"EXE"}, IssueWidth: 2}},
+		FUs: []FU{
+			{ID: "alu", Quantity: 2},
+			{ID: "mul", Quantity: 1},
+			{ID: "div", Quantity: 1},
+			{ID: "mem", Quantity: 1}, // one BRAM port
+			{ID: "ctrl", Quantity: 1},
+		},
+		Ops: map[cdfg.Class]OpInfo{
+			cdfg.ClassALU:    one("alu", 1),
+			cdfg.ClassShift:  one("alu", 1),
+			cdfg.ClassMul:    one("mul", 2),
+			cdfg.ClassDiv:    one("div", 16),
+			cdfg.ClassLoad:   one("mem", 1),
+			cdfg.ClassStore:  one("mem", 1),
+			cdfg.ClassBranch: one("ctrl", 1),
+			cdfg.ClassJump:   one("ctrl", 1),
+			cdfg.ClassCall:   one("ctrl", 2),
+			cdfg.ClassIO:     one("mem", 1),
+		},
+		Branch: BranchModel{Predictor: "none", MissRate: 0, Penalty: 0},
+		Mem:    MemModel{ExtLatency: 0, Table: map[CacheCfg]MemStats{}},
+	}
+}
+
+// DualIssue returns a superscalar variant of the MicroBlaze model with two
+// issue pipelines, used by tests and the PUM-detail ablation.
+func DualIssue() *PUM {
+	p := MicroBlaze()
+	p.Name = "dualissue"
+	p.Policy = PolicyASAP
+	p.Pipelines = []Pipeline{
+		{Name: "p0", Stages: []string{"IF", "DE", "EX"}, IssueWidth: 1},
+		{Name: "p1", Stages: []string{"IF", "DE", "EX"}, IssueWidth: 1},
+	}
+	p.FUs = []FU{
+		{ID: "alu", Quantity: 2},
+		{ID: "mul", Quantity: 1},
+		{ID: "div", Quantity: 1},
+		{ID: "lsu", Quantity: 1},
+		{ID: "bru", Quantity: 1},
+	}
+	return p
+}
+
+// ARM5 returns a classic 5-stage (IF/ID/EX/MEM/WB) in-order RISC model with
+// a load-use hazard: loads commit their result only in MEM, so a dependent
+// consumer stalls one cycle — the textbook case the operation mapping
+// table's demand/commit flags exist to express. ALU results forward from
+// EX. Included as a library example of a deeper pipeline and used by the
+// scheduler's hazard tests.
+func ARM5() *PUM {
+	const nStages = 5
+	const ex = 2
+	const mem = 3
+	row := func(fu string, cycles, demand, commit int) OpInfo {
+		return OpInfo{Stages: uniformStages(nStages, ex, fu, cycles), Demand: demand, Commit: commit}
+	}
+	loadRow := OpInfo{Stages: uniformStages(nStages, ex, "lsu", 1), Demand: ex, Commit: mem}
+	return &PUM{
+		Name:      "arm5",
+		ClockHz:   200_000_000,
+		Policy:    PolicyInOrder,
+		Pipelined: true,
+		Pipelines: []Pipeline{{Name: "main", Stages: []string{"IF", "ID", "EX", "MEM", "WB"}, IssueWidth: 1}},
+		FUs: []FU{
+			{ID: "alu", Quantity: 1},
+			{ID: "mul", Quantity: 1},
+			{ID: "div", Quantity: 1},
+			{ID: "lsu", Quantity: 1},
+			{ID: "bru", Quantity: 1},
+		},
+		Ops: map[cdfg.Class]OpInfo{
+			cdfg.ClassALU:    row("alu", 1, ex, ex),
+			cdfg.ClassShift:  row("alu", 1, ex, ex),
+			cdfg.ClassMul:    row("mul", 2, ex, ex),
+			cdfg.ClassDiv:    row("div", 20, ex, ex),
+			cdfg.ClassLoad:   loadRow,
+			cdfg.ClassStore:  row("lsu", 1, ex, ex),
+			cdfg.ClassBranch: row("bru", 1, ex, ex),
+			cdfg.ClassJump:   row("bru", 3, ex, ex),
+			cdfg.ClassCall:   row("bru", 4, ex, ex),
+			cdfg.ClassIO:     row("lsu", 1, ex, ex),
+		},
+		Branch: BranchModel{Predictor: "2bit", MissRate: 0.1, Penalty: 3},
+		Mem: MemModel{
+			HasICache:  true,
+			HasDCache:  true,
+			ExtLatency: 12,
+			Table:      nominalCacheTable(12),
+		},
+	}
+}

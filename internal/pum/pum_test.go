@@ -1,0 +1,185 @@
+package pum
+
+import (
+	"strings"
+	"testing"
+
+	"ese/internal/cdfg"
+)
+
+func TestBuiltinsValidate(t *testing.T) {
+	for _, p := range []*PUM{MicroBlaze(), CustomHW("dct", 100_000_000), DualIssue()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(p *PUM)
+		want string
+	}{
+		{"no name", func(p *PUM) { p.Name = "" }, "missing name"},
+		{"bad clock", func(p *PUM) { p.ClockHz = 0 }, "clock"},
+		{"no pipelines", func(p *PUM) { p.Pipelines = nil }, "pipeline"},
+		{"zero width", func(p *PUM) { p.Pipelines[0].IssueWidth = 0 }, "issue width"},
+		{"bad fu qty", func(p *PUM) { p.FUs[0].Quantity = 0 }, "quantity"},
+		{"dup fu", func(p *PUM) { p.FUs = append(p.FUs, FU{ID: "alu", Quantity: 1}) }, "duplicate"},
+		{"missing class", func(p *PUM) { delete(p.Ops, cdfg.ClassDiv) }, "not mapped"},
+		{"bad demand", func(p *PUM) {
+			i := p.Ops[cdfg.ClassALU]
+			i.Demand = 9
+			p.Ops[cdfg.ClassALU] = i
+		}, "demand"},
+		{"commit before demand", func(p *PUM) {
+			i := p.Ops[cdfg.ClassALU]
+			i.Commit = i.Demand - 1
+			p.Ops[cdfg.ClassALU] = i
+		}, "commit"},
+		{"zero cycles", func(p *PUM) {
+			i := p.Ops[cdfg.ClassALU]
+			i.Stages[0].Cycles = 0
+			p.Ops[cdfg.ClassALU] = i
+		}, "cycles"},
+		{"unknown fu", func(p *PUM) {
+			i := p.Ops[cdfg.ClassALU]
+			i.Stages[2].FU = "fpu"
+			p.Ops[cdfg.ClassALU] = i
+		}, "unknown FU"},
+		{"bad miss rate", func(p *PUM) { p.Branch.MissRate = 1.5 }, "miss rate"},
+		{"bad table rate", func(p *PUM) {
+			st := p.Mem.Table[CacheCfg{2048, 2048}]
+			st.DHitRate = -0.2
+			p.Mem.Table[CacheCfg{2048, 2048}] = st
+		}, "hit rate"},
+	}
+	for _, tc := range cases {
+		p := MicroBlaze()
+		tc.mut(p)
+		err := p.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate passed, want error containing %q", tc.name, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := MicroBlaze()
+	q := p.Clone()
+	q.Pipelines[0].Stages[0] = "XX"
+	info := q.Ops[cdfg.ClassALU]
+	info.Stages[0].Cycles = 99
+	q.Ops[cdfg.ClassALU] = info
+	q.Mem.Table[CacheCfg{2048, 2048}] = MemStats{}
+	if p.Pipelines[0].Stages[0] == "XX" {
+		t.Error("pipeline stages aliased")
+	}
+	if p.Ops[cdfg.ClassALU].Stages[0].Cycles == 99 {
+		t.Error("op stages aliased")
+	}
+	if p.Mem.Table[CacheCfg{2048, 2048}].IHitRate == 0 {
+		t.Error("mem table aliased")
+	}
+}
+
+func TestWithCache(t *testing.T) {
+	p := MicroBlaze()
+	q, err := p.WithCache(CacheCfg{8 * 1024, 4 * 1024})
+	if err != nil {
+		t.Fatalf("WithCache: %v", err)
+	}
+	if !q.Mem.HasICache || !q.Mem.HasDCache {
+		t.Error("cache flags not set")
+	}
+	if q.Mem.Current.IHitRate != p.Mem.Table[CacheCfg{8 * 1024, 4 * 1024}].IHitRate {
+		t.Error("current stats not selected")
+	}
+	// Uncached config: everything misses to external memory.
+	u, err := p.WithCache(CacheCfg{0, 0})
+	if err != nil {
+		t.Fatalf("WithCache(0,0): %v", err)
+	}
+	if u.Mem.HasICache || u.Mem.HasDCache {
+		t.Error("uncached config still has caches")
+	}
+	if u.Mem.Current.IMissPenalty != p.Mem.ExtLatency || u.Mem.Current.IHitRate != 0 {
+		t.Errorf("uncached stats wrong: %+v", u.Mem.Current)
+	}
+	if _, err := p.WithCache(CacheCfg{1, 1}); err == nil {
+		t.Error("unknown config accepted")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	for _, orig := range []*PUM{MicroBlaze(), CustomHW("dct", 50_000_000), DualIssue()} {
+		data, err := orig.ToJSON()
+		if err != nil {
+			t.Fatalf("%s ToJSON: %v", orig.Name, err)
+		}
+		back, err := FromJSON(data)
+		if err != nil {
+			t.Fatalf("%s FromJSON: %v\n%s", orig.Name, err, data)
+		}
+		if back.Name != orig.Name || back.ClockHz != orig.ClockHz || back.Policy != orig.Policy {
+			t.Errorf("%s: header fields differ after round trip", orig.Name)
+		}
+		if len(back.Ops) != len(orig.Ops) {
+			t.Errorf("%s: ops differ: %d vs %d", orig.Name, len(back.Ops), len(orig.Ops))
+		}
+		for cls, oi := range orig.Ops {
+			bi := back.Ops[cls]
+			if bi.Demand != oi.Demand || bi.Commit != oi.Commit || len(bi.Stages) != len(oi.Stages) {
+				t.Errorf("%s: class %v differs", orig.Name, cls)
+			}
+		}
+		if len(back.Mem.Table) != len(orig.Mem.Table) {
+			t.Errorf("%s: mem table differs", orig.Name)
+		}
+	}
+}
+
+func TestFromJSONRejectsBadInput(t *testing.T) {
+	if _, err := FromJSON([]byte("{")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := FromJSON([]byte(`{"name":"x","policy":"magic"}`)); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	good, _ := MicroBlaze().ToJSON()
+	bad := strings.Replace(string(good), `"alu"`, `"warp"`, 1)
+	if _, err := FromJSON([]byte(bad)); err == nil {
+		t.Error("unknown op class accepted")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, s := range []string{"inorder", "asap", "list"} {
+		p, err := ParsePolicy(s)
+		if err != nil {
+			t.Errorf("ParsePolicy(%q): %v", s, err)
+		}
+		if p.String() != s {
+			t.Errorf("round trip %q -> %v -> %q", s, p, p.String())
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Error("bogus policy accepted")
+	}
+}
+
+func TestConfigsSorted(t *testing.T) {
+	p := MicroBlaze()
+	cfgs := p.Configs()
+	for i := 1; i < len(cfgs); i++ {
+		a, b := cfgs[i-1], cfgs[i]
+		if a.ISize > b.ISize || (a.ISize == b.ISize && a.DSize > b.DSize) {
+			t.Fatalf("configs not sorted: %v", cfgs)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package rtl
+
+import (
+	"fmt"
+
+	"ese/internal/cdfg"
+	"ese/internal/iss"
+	"ese/internal/pum"
+)
+
+// Calibrate profiles a training process on the cycle-accurate processor
+// model for each cache configuration and returns a copy of the base PUM
+// whose statistical memory table and branch misprediction ratio hold the
+// measured values — the way a designer populates the paper's statistical
+// memory and branch delay models. The training entry must be a
+// self-contained process (no channel communication), typically a reduced
+// or representative input; evaluating on different inputs is what makes the
+// statistical model approximate.
+func Calibrate(base *pum.PUM, prog *cdfg.Program, entry string, cfgs []pum.CacheCfg, limit uint64) (*pum.PUM, error) {
+	isa, err := iss.Generate(prog)
+	if err != nil {
+		return nil, err
+	}
+	out := base.Clone()
+	branchSet := false
+	for _, cfg := range cfgs {
+		if cfg.ISize == 0 && cfg.DSize == 0 {
+			// The uncached configuration needs no statistics: every access
+			// pays the external latency (see PUM.WithCache).
+			continue
+		}
+		m := iss.NewMachine(isa)
+		if err := m.Start(entry); err != nil {
+			return nil, err
+		}
+		cpu, err := NewCPU(m, CPUConfig{
+			Model:  base,
+			ICache: RealCacheConfig(cfg.ISize),
+			DCache: RealCacheConfig(cfg.DSize),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := cpu.Run(limit); err != nil {
+			return nil, fmt.Errorf("rtl: calibrating %v: %w", cfg, err)
+		}
+		out.Mem.Table[cfg] = cpu.MemStatsSnapshot()
+		if !branchSet {
+			out.Branch.MissRate = cpu.BP.MissRate()
+			branchSet = true
+		}
+	}
+	return out, nil
+}

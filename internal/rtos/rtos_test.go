@@ -1,0 +1,255 @@
+package rtos
+
+import (
+	"testing"
+
+	"ese/internal/sim"
+)
+
+const periodPs = sim.Time(10_000) // 100 MHz
+
+// runTasks spawns one process per spec, each consuming work in chunks and
+// recording its finish time in cycles.
+type taskSpec struct {
+	name     string
+	priority int
+	chunks   []uint64
+	// blockAfter, if >= 0, inserts a Block (releasing the CPU for
+	// blockPs picoseconds) after that chunk index.
+	blockAfter int
+	blockPs    sim.Time
+}
+
+type taskResult struct {
+	finishCycles uint64
+	task         *Task
+}
+
+func runRTOS(t *testing.T, cfg Config, specs []taskSpec) (map[string]*taskResult, *CPU, sim.Time) {
+	t.Helper()
+	k := sim.NewKernel()
+	cpu := NewCPU(k, cfg, periodPs)
+	results := make(map[string]*taskResult)
+	for _, spec := range specs {
+		spec := spec
+		task := cpu.AddTask(spec.name, spec.priority)
+		res := &taskResult{task: task}
+		results[spec.name] = res
+		k.Spawn(spec.name, func(p *sim.Process) {
+			cpu.Bind(task, p)
+			for i, chunk := range spec.chunks {
+				cpu.Consume(task, chunk)
+				if i < len(spec.chunks)-1 {
+					cpu.SchedulingPoint(task)
+				}
+				if spec.blockAfter == i {
+					cpu.Block(task, func() { p.Wait(spec.blockPs) })
+				}
+			}
+			cpu.Finish(task)
+			res.finishCycles = uint64(p.Now() / periodPs)
+		})
+	}
+	end, err := k.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return results, cpu, end
+}
+
+func TestSingleTaskNoOverheadBeyondSwitch(t *testing.T) {
+	res, cpu, end := runRTOS(t, Config{Policy: Cooperative, ContextSwitchCycles: 5},
+		[]taskSpec{{name: "a", chunks: []uint64{100, 200}, blockAfter: -1}})
+	if res["a"].task.CPUCycles != 300 {
+		t.Fatalf("CPU cycles = %d, want 300", res["a"].task.CPUCycles)
+	}
+	// One dispatch: 5 switch cycles + 300 work.
+	if got := uint64(end / periodPs); got != 305 {
+		t.Fatalf("end = %d cycles, want 305", got)
+	}
+	if cpu.Switches != 1 {
+		t.Fatalf("switches = %d, want 1", cpu.Switches)
+	}
+}
+
+func TestCooperativeRunsToBlock(t *testing.T) {
+	// Two tasks; cooperative: a runs both chunks before b starts.
+	res, _, _ := runRTOS(t, Config{Policy: Cooperative},
+		[]taskSpec{
+			{name: "a", chunks: []uint64{100, 100}, blockAfter: -1},
+			{name: "b", chunks: []uint64{50}, blockAfter: -1},
+		})
+	if res["a"].finishCycles != 200 {
+		t.Fatalf("a finished at %d, want 200", res["a"].finishCycles)
+	}
+	if res["b"].finishCycles != 250 {
+		t.Fatalf("b finished at %d, want 250 (after a)", res["b"].finishCycles)
+	}
+	if res["b"].task.WaitCycles != 200 {
+		t.Fatalf("b waited %d cycles, want 200", res["b"].task.WaitCycles)
+	}
+}
+
+func TestRoundRobinInterleaves(t *testing.T) {
+	// Two equal tasks of 100 cycles with a 25-cycle quantum: they
+	// interleave, so both finish close to the 200-cycle total, with the
+	// first finisher near 175 (it runs slices at 0,50,100,150).
+	res, cpu, end := runRTOS(t, Config{Policy: RoundRobin, TimeSliceCycles: 25},
+		[]taskSpec{
+			{name: "a", chunks: []uint64{100}, blockAfter: -1},
+			{name: "b", chunks: []uint64{100}, blockAfter: -1},
+		})
+	if got := uint64(end / periodPs); got != 200 {
+		t.Fatalf("end = %d, want 200", got)
+	}
+	if res["a"].finishCycles != 175 {
+		t.Fatalf("a finished at %d, want 175 (interleaved)", res["a"].finishCycles)
+	}
+	if res["b"].finishCycles != 200 {
+		t.Fatalf("b finished at %d, want 200", res["b"].finishCycles)
+	}
+	// 8 slices = 8 dispatches.
+	if cpu.Switches != 8 {
+		t.Fatalf("switches = %d, want 8", cpu.Switches)
+	}
+}
+
+func TestRoundRobinContextSwitchCost(t *testing.T) {
+	// Same as above with a 2-cycle switch cost: end time grows by
+	// switches * 2.
+	_, cpu, end := runRTOS(t, Config{Policy: RoundRobin, TimeSliceCycles: 25, ContextSwitchCycles: 2},
+		[]taskSpec{
+			{name: "a", chunks: []uint64{100}, blockAfter: -1},
+			{name: "b", chunks: []uint64{100}, blockAfter: -1},
+		})
+	want := uint64(200 + 8*2)
+	if got := uint64(end / periodPs); got != want {
+		t.Fatalf("end = %d, want %d (switches=%d)", got, want, cpu.Switches)
+	}
+}
+
+func TestRoundRobinNoPreemptWhenAlone(t *testing.T) {
+	// A single task never pays slice preemptions.
+	_, cpu, end := runRTOS(t, Config{Policy: RoundRobin, TimeSliceCycles: 10, ContextSwitchCycles: 3},
+		[]taskSpec{{name: "solo", chunks: []uint64{95}, blockAfter: -1}})
+	if got := uint64(end / periodPs); got != 98 {
+		t.Fatalf("end = %d, want 98", got)
+	}
+	if cpu.Switches != 1 {
+		t.Fatalf("switches = %d, want 1", cpu.Switches)
+	}
+}
+
+func TestPriorityOrdersExecution(t *testing.T) {
+	// The low-priority task is dispatched first (it binds first, alone),
+	// but the high-priority task preempts it at low's first scheduling
+	// point — after one 10-cycle chunk — and then runs to completion.
+	res, _, _ := runRTOS(t, Config{Policy: PriorityPreemptive},
+		[]taskSpec{
+			{name: "low", priority: 1,
+				chunks: []uint64{10, 10, 10, 10, 10, 10, 10, 10, 10, 10}, blockAfter: -1},
+			{name: "high", priority: 9, chunks: []uint64{100}, blockAfter: -1},
+		})
+	if res["high"].finishCycles != 110 {
+		t.Fatalf("high finished at %d, want 110 (preempting after low's first chunk)",
+			res["high"].finishCycles)
+	}
+	if res["low"].finishCycles != 200 {
+		t.Fatalf("low finished at %d, want 200", res["low"].finishCycles)
+	}
+}
+
+func TestPriorityPreemptsAtSchedulingPoint(t *testing.T) {
+	// High-priority task blocks (I/O) for 30 cycles after its first chunk;
+	// low runs meanwhile; when high becomes ready again it preempts low at
+	// the next scheduling point.
+	res, _, _ := runRTOS(t, Config{Policy: PriorityPreemptive},
+		[]taskSpec{
+			{name: "high", priority: 9, chunks: []uint64{20, 20}, blockAfter: 0, blockPs: 30 * periodPs},
+			{name: "low", priority: 1, chunks: []uint64{10, 10, 10, 10, 10, 10, 10, 10}, blockAfter: -1},
+		})
+	// high: 20 work, blocks 30 (low runs), resumes at its wake (50) and
+	// preempts low at low's next scheduling point; finishes around 70-80.
+	if res["high"].finishCycles > 85 {
+		t.Fatalf("high finished at %d, preemption failed", res["high"].finishCycles)
+	}
+	// low's total: 80 work + waiting for high's 40 = ~120.
+	if res["low"].finishCycles < 115 || res["low"].finishCycles > 125 {
+		t.Fatalf("low finished at %d, want ~120", res["low"].finishCycles)
+	}
+}
+
+func TestBlockReleasesCPU(t *testing.T) {
+	// a blocks for a long time; b must run during a's block, not after.
+	res, _, end := runRTOS(t, Config{Policy: Cooperative},
+		[]taskSpec{
+			{name: "a", chunks: []uint64{10, 10}, blockAfter: 0, blockPs: 500 * periodPs},
+			{name: "b", chunks: []uint64{100}, blockAfter: -1},
+		})
+	if res["b"].finishCycles != 110 {
+		t.Fatalf("b finished at %d, want 110 (runs during a's block)", res["b"].finishCycles)
+	}
+	// a: 10 work, 500 block, 10 work = 520.
+	if res["a"].finishCycles != 520 {
+		t.Fatalf("a finished at %d, want 520", res["a"].finishCycles)
+	}
+	if got := uint64(end / periodPs); got != 520 {
+		t.Fatalf("end = %d, want 520", got)
+	}
+}
+
+func TestThreeTasksRoundRobinFairness(t *testing.T) {
+	res, _, end := runRTOS(t, Config{Policy: RoundRobin, TimeSliceCycles: 10},
+		[]taskSpec{
+			{name: "a", chunks: []uint64{60}, blockAfter: -1},
+			{name: "b", chunks: []uint64{60}, blockAfter: -1},
+			{name: "c", chunks: []uint64{60}, blockAfter: -1},
+		})
+	if got := uint64(end / periodPs); got != 180 {
+		t.Fatalf("end = %d, want 180", got)
+	}
+	// Finishers are spread, not serialized: the first finishes well before
+	// 180 but after its own 60 cycles of work.
+	if res["a"].finishCycles <= 60 || res["a"].finishCycles >= 180 {
+		t.Fatalf("a finished at %d: not interleaved", res["a"].finishCycles)
+	}
+}
+
+func TestWaitCyclesAccounting(t *testing.T) {
+	res, _, _ := runRTOS(t, Config{Policy: Cooperative},
+		[]taskSpec{
+			{name: "a", chunks: []uint64{100}, blockAfter: -1},
+			{name: "b", chunks: []uint64{40}, blockAfter: -1},
+		})
+	a, b := res["a"].task, res["b"].task
+	if a.WaitCycles != 0 {
+		t.Fatalf("a waited %d, want 0", a.WaitCycles)
+	}
+	if b.WaitCycles != 100 {
+		t.Fatalf("b waited %d, want 100", b.WaitCycles)
+	}
+	if a.CPUCycles != 100 || b.CPUCycles != 40 {
+		t.Fatalf("cpu cycles: a=%d b=%d", a.CPUCycles, b.CPUCycles)
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	run := func() []uint64 {
+		res, _, _ := runRTOS(t, Config{Policy: RoundRobin, TimeSliceCycles: 7, ContextSwitchCycles: 1},
+			[]taskSpec{
+				{name: "a", chunks: []uint64{33, 21}, blockAfter: 0, blockPs: 11 * periodPs},
+				{name: "b", chunks: []uint64{55}, blockAfter: -1},
+				{name: "c", chunks: []uint64{13, 13, 13}, blockAfter: 1, blockPs: 5 * periodPs},
+			})
+		return []uint64{res["a"].finishCycles, res["b"].finishCycles, res["c"].finishCycles}
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		again := run()
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatalf("nondeterministic schedule: %v vs %v", first, again)
+			}
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Package sim implements a deterministic discrete-event simulation kernel in
+// the style of the SystemC reference simulator. It is the substrate that the
+// generated transaction-level models execute on.
+//
+// Processes are goroutines, but scheduling is strictly cooperative: exactly
+// one process goroutine runs at any instant, and runnable processes at the
+// same timestamp are dispatched in (time, delta, sequence) order. Every
+// simulation is therefore bit-reproducible.
+//
+// The kernel provides the three primitives the paper's TLM wrapper needs:
+//
+//   - Process.Wait(d): suspend the calling process for d time units
+//     (the sc_wait analogue used at transaction boundaries);
+//   - Event.Notify(d) / Process.WaitEvent(ev): SystemC-style event
+//     notification, used to build rendezvous bus channels;
+//   - deterministic termination: Run returns when no process can make
+//     progress, reporting deadlock if processes are still blocked.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Time is simulation time in abstract base units. The TLM layer uses
+// picoseconds so that PE clocks with different periods compose exactly.
+type Time uint64
+
+// Kernel is a discrete-event simulator instance. It is not safe for
+// concurrent use; all interaction happens from process goroutines it manages
+// or from the goroutine that called Run.
+type Kernel struct {
+	now     Time
+	delta   uint64
+	seq     uint64
+	queue   eventQueue
+	procs   []*Process
+	current *Process
+	stopped bool
+	maxTime Time // 0 means unbounded
+}
+
+// NewKernel returns an empty simulator positioned at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Stop requests that the simulation halt after the currently running process
+// yields. Pending events are discarded.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Spawn registers a new process. The body runs when Run is called; it must
+// interact with the kernel only through its *Process argument. Processes
+// spawned before Run starts are initially runnable at time zero in spawn
+// order.
+func (k *Kernel) Spawn(name string, body func(p *Process)) *Process {
+	p := &Process{
+		name:   name,
+		kernel: k,
+		body:   body,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+		state:  stateReady,
+	}
+	k.procs = append(k.procs, p)
+	k.schedule(p, 0)
+	return p
+}
+
+// schedule enqueues a wakeup for p at now+delay. A zero delay within a
+// running simulation is a delta-cycle wakeup: it fires at the same timestamp
+// but strictly after all currently scheduled same-time work.
+func (k *Kernel) schedule(p *Process, delay Time) {
+	k.seq++
+	item := &queueItem{
+		t:     k.now + delay,
+		delta: k.delta,
+		seq:   k.seq,
+		proc:  p,
+	}
+	if delay == 0 {
+		item.delta = k.delta + 1
+	}
+	heap.Push(&k.queue, item)
+}
+
+// scheduleFire enqueues an event firing at now+delay.
+func (k *Kernel) scheduleFire(ev *Event, delay Time) {
+	k.seq++
+	item := &queueItem{
+		t:     k.now + delay,
+		delta: k.delta,
+		seq:   k.seq,
+		event: ev,
+	}
+	if delay == 0 {
+		item.delta = k.delta + 1
+	}
+	heap.Push(&k.queue, item)
+}
+
+// Run executes the simulation until no further progress is possible, the
+// kernel is stopped, or the optional time limit set by RunUntil is reached.
+// It returns the final simulation time. If processes remain blocked on
+// events that can never fire, Run returns ErrDeadlock wrapping their names.
+func (k *Kernel) Run() (Time, error) {
+	for k.queue.Len() > 0 && !k.stopped {
+		item := heap.Pop(&k.queue).(*queueItem)
+		if k.maxTime != 0 && item.t > k.maxTime {
+			k.now = k.maxTime
+			return k.now, nil
+		}
+		if item.t > k.now {
+			k.now = item.t
+			k.delta = 0
+		}
+		if item.delta > k.delta {
+			k.delta = item.delta
+		}
+		switch {
+		case item.proc != nil:
+			k.dispatch(item.proc)
+		case item.event != nil:
+			k.fire(item.event)
+		}
+	}
+	if k.stopped {
+		return k.now, nil
+	}
+	var blocked []string
+	for _, p := range k.procs {
+		if p.state == stateWaitEvent {
+			blocked = append(blocked, p.name)
+		}
+	}
+	if len(blocked) > 0 {
+		sort.Strings(blocked)
+		return k.now, fmt.Errorf("%w: processes still blocked: %v", ErrDeadlock, blocked)
+	}
+	return k.now, nil
+}
+
+// RunUntil is Run with an inclusive simulation-time limit.
+func (k *Kernel) RunUntil(limit Time) (Time, error) {
+	k.maxTime = limit
+	defer func() { k.maxTime = 0 }()
+	return k.Run()
+}
+
+// dispatch resumes p and blocks until it yields back to the scheduler.
+func (k *Kernel) dispatch(p *Process) {
+	if p.state == stateDone {
+		return
+	}
+	if p.state == stateWaitEvent {
+		// The process was woken by an event wakeup raced with a timed
+		// wakeup; the event path owns it now.
+		return
+	}
+	k.current = p
+	p.state = stateRunning
+	if !p.started {
+		p.started = true
+		go p.run()
+	} else {
+		p.resume <- struct{}{}
+	}
+	<-p.yield
+	k.current = nil
+}
+
+// fire wakes every process currently waiting on ev, in registration order.
+func (k *Kernel) fire(ev *Event) {
+	waiters := ev.waiters
+	ev.waiters = nil
+	ev.pending--
+	for _, p := range waiters {
+		if p.state != stateWaitEvent {
+			continue
+		}
+		p.state = stateReady
+		k.dispatch(p)
+	}
+}
+
+// ErrDeadlock is returned (wrapped) by Run when the event queue drains while
+// processes are still blocked on events.
+var ErrDeadlock = errDeadlock{}
+
+type errDeadlock struct{}
+
+func (errDeadlock) Error() string { return "sim: deadlock" }

@@ -1,0 +1,61 @@
+package sim
+
+// procState tracks where a process is in its lifecycle.
+type procState int
+
+const (
+	stateReady procState = iota
+	stateRunning
+	stateWaitTime
+	stateWaitEvent
+	stateDone
+)
+
+// Process is a simulated concurrent process (the SC_PROCESS analogue). Its
+// body runs on a dedicated goroutine but only while the kernel has dispatched
+// it; all blocking happens through Wait and WaitEvent.
+type Process struct {
+	name    string
+	kernel  *Kernel
+	body    func(p *Process)
+	resume  chan struct{}
+	yield   chan struct{}
+	state   procState
+	started bool
+}
+
+// Name returns the process name given at Spawn.
+func (p *Process) Name() string { return p.name }
+
+// Now returns the current simulation time.
+func (p *Process) Now() Time { return p.kernel.now }
+
+// Kernel returns the owning kernel.
+func (p *Process) Kernel() *Kernel { return p.kernel }
+
+// run executes the process body and marks the process done when it returns.
+func (p *Process) run() {
+	p.body(p)
+	p.state = stateDone
+	p.yield <- struct{}{}
+}
+
+// Wait suspends the process for d time units of simulated time. A zero delay
+// yields for one delta cycle.
+func (p *Process) Wait(d Time) {
+	p.state = stateWaitTime
+	p.kernel.schedule(p, d)
+	p.yield <- struct{}{}
+	<-p.resume
+	p.state = stateRunning
+}
+
+// WaitEvent suspends the process until ev fires. If the event never fires
+// the simulation ends in deadlock and Run reports this process as blocked.
+func (p *Process) WaitEvent(ev *Event) {
+	p.state = stateWaitEvent
+	ev.waiters = append(ev.waiters, p)
+	p.yield <- struct{}{}
+	<-p.resume
+	p.state = stateRunning
+}

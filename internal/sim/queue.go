@@ -1,0 +1,48 @@
+package sim
+
+// queueItem is a scheduled wakeup: either a process resume or an event fire.
+type queueItem struct {
+	t     Time
+	delta uint64
+	seq   uint64
+	proc  *Process
+	event *Event
+	index int
+}
+
+// eventQueue is a min-heap ordered by (time, delta, sequence), which yields
+// the deterministic dispatch order the kernel guarantees.
+type eventQueue []*queueItem
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	if q[i].delta != q[j].delta {
+		return q[i].delta < q[j].delta
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	item := x.(*queueItem)
+	item.index = len(*q)
+	*q = append(*q, item)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return item
+}

@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestManyProcessesStress(t *testing.T) {
+	// 200 processes with interleaved waits; total end time and per-process
+	// completion must be exact.
+	k := NewKernel()
+	const n = 200
+	done := 0
+	for i := 0; i < n; i++ {
+		i := i
+		k.Spawn("p", func(p *Process) {
+			for r := 0; r < 10; r++ {
+				p.Wait(Time(i%7 + 1))
+			}
+			done++
+		})
+	}
+	end, err := k.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if done != n {
+		t.Fatalf("done = %d, want %d", done, n)
+	}
+	// Longest process waits 10*7 = 70.
+	if end != 70 {
+		t.Fatalf("end = %d, want 70", end)
+	}
+}
+
+func TestEventMultipleNotifies(t *testing.T) {
+	// Two notifications in flight: a waiter wakes on the earliest; a later
+	// waiter wakes on the second firing.
+	k := NewKernel()
+	ev := k.NewEvent("ev")
+	var first, second Time
+	k.Spawn("w1", func(p *Process) {
+		p.WaitEvent(ev)
+		first = p.Now()
+	})
+	k.Spawn("w2", func(p *Process) {
+		p.Wait(15)
+		p.WaitEvent(ev)
+		second = p.Now()
+	})
+	k.Spawn("n", func(p *Process) {
+		ev.Notify(10)
+		ev.Notify(30)
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if first != 10 {
+		t.Fatalf("first woke at %d, want 10", first)
+	}
+	if second != 30 {
+		t.Fatalf("second woke at %d, want 30", second)
+	}
+}
+
+func TestNotifyWithNoWaitersIsLost(t *testing.T) {
+	// SystemC semantics: a fired notification with no waiters evaporates.
+	k := NewKernel()
+	ev := k.NewEvent("ev")
+	woke := false
+	k.Spawn("n", func(p *Process) {
+		ev.Notify(1)
+	})
+	k.Spawn("late", func(p *Process) {
+		p.Wait(100)
+		// Start waiting long after the firing: must deadlock, not wake.
+		p.WaitEvent(ev)
+		woke = true
+	})
+	_, err := k.Run()
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want deadlock (notification must be lost)", err)
+	}
+	if woke {
+		t.Fatal("late waiter woke on a stale notification")
+	}
+}
+
+func TestSpawnDuringRun(t *testing.T) {
+	// A process may spawn another mid-simulation.
+	k := NewKernel()
+	var childAt Time
+	k.Spawn("parent", func(p *Process) {
+		p.Wait(25)
+		k.Spawn("child", func(c *Process) {
+			c.Wait(5)
+			childAt = c.Now()
+		})
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if childAt != 30 {
+		t.Fatalf("child finished at %d, want 30", childAt)
+	}
+}
+
+func TestZeroDelayChains(t *testing.T) {
+	// Long chains of delta-cycle waits terminate and stay at time zero.
+	k := NewKernel()
+	hops := 0
+	k.Spawn("d", func(p *Process) {
+		for i := 0; i < 1000; i++ {
+			p.Wait(0)
+			hops++
+		}
+	})
+	end, err := k.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if end != 0 || hops != 1000 {
+		t.Fatalf("end=%d hops=%d", end, hops)
+	}
+}
+
+func TestStopFromOutsideProcess(t *testing.T) {
+	// Stop requested by one process halts others' future work.
+	k := NewKernel()
+	ticks := 0
+	k.Spawn("ticker", func(p *Process) {
+		for i := 0; i < 1000; i++ {
+			p.Wait(10)
+			ticks++
+		}
+	})
+	k.Spawn("killer", func(p *Process) {
+		p.Wait(55)
+		k.Stop()
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ticks > 6 {
+		t.Fatalf("ticker ran %d times after stop", ticks)
+	}
+}

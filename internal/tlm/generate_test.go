@@ -1,0 +1,90 @@
+package tlm
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ese/internal/core"
+)
+
+func TestGenerateSourceParses(t *testing.T) {
+	d := twoPEDesign(t, pingPongSrc)
+	src, err := GenerateSource(d, core.FullDetail)
+	if err != nil {
+		t.Fatalf("GenerateSource: %v", err)
+	}
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "tlm.go", src, 0); err != nil {
+		t.Fatalf("generated TLM does not parse: %v", err)
+	}
+	for _, want := range []string{
+		"PEcpu_Fn_main", "PEacc_Fn_worker", "newKernel()", "newBus(k, 100000000, 2, 1)",
+		"env.Wait(", "func main() {",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated TLM missing %q", want)
+		}
+	}
+}
+
+// TestGeneratedTLMMatchesInProcess compiles the generated standalone TLM
+// with the Go toolchain, runs it, and checks that per-PE cycles, outputs
+// and the simulated end time match the in-process executor exactly.
+func TestGeneratedTLMMatchesInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiling generated code is slow")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not available")
+	}
+	d := twoPEDesign(t, pingPongSrc)
+	src, err := GenerateSource(d, core.FullDetail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := twoPEDesign(t, pingPongSrc)
+	ref, err := RunTimed(d2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module gentlm\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", ".")
+	cmd.Dir = dir
+	outBytes, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run: %v\n%s\n--- source ---\n%s", err, outBytes, src)
+	}
+	got := string(outBytes)
+	for pe, cycles := range ref.CyclesByPE {
+		want := fmt.Sprintf("pe %s cycles %d", pe, cycles)
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in:\n%s", want, got)
+		}
+	}
+	for pe, outs := range ref.OutByPE {
+		if len(outs) == 0 {
+			continue
+		}
+		want := fmt.Sprintf("pe %s out %v", pe, outs)
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in:\n%s", want, got)
+		}
+	}
+	wantEnd := fmt.Sprintf("end_ps %d", ref.EndPs)
+	if !strings.Contains(got, wantEnd) {
+		t.Errorf("missing %q in:\n%s", wantEnd, got)
+	}
+}

@@ -1,0 +1,307 @@
+package tlm
+
+import (
+	"fmt"
+	"time"
+
+	"ese/internal/annotate"
+	"ese/internal/cdfg"
+	"ese/internal/core"
+	"ese/internal/interp"
+	"ese/internal/platform"
+	"ese/internal/rtos"
+	"ese/internal/sim"
+	"ese/internal/trace"
+)
+
+// WaitMode selects where accumulated delays are applied to the simulation.
+type WaitMode int
+
+const (
+	// WaitAtTransactions accumulates per-block delays and applies them
+	// with a single kernel wait at each inter-process transaction boundary
+	// — the paper's default, because per-block sc_wait "is an expensive
+	// function that forces the kernel to reschedule" (§4.3).
+	WaitAtTransactions WaitMode = iota
+	// WaitPerBlock issues a kernel wait after every basic block, the
+	// expensive alternative; used by the granularity ablation. For RTOS
+	// PEs this also gives the scheduler per-block preemption granularity.
+	WaitPerBlock
+)
+
+// Options configures a TLM run.
+type Options struct {
+	Timed     bool
+	WaitMode  WaitMode
+	StepLimit uint64 // per-process dynamic instruction limit (0 = none)
+	// Detail selects the PUM sub-models used during annotation.
+	Detail core.Detail
+	// Trace, when set, records per-process busy intervals and bus activity
+	// as a VCD waveform.
+	Trace *trace.VCD
+}
+
+// Result is the outcome of one TLM simulation.
+type Result struct {
+	Design string
+	// OutByPE holds each process's out() stream, keyed by PE name (or
+	// "pe/task" for RTOS tasks).
+	OutByPE map[string][]int32
+	// CyclesByPE holds accumulated computation cycles per PE; RTOS tasks
+	// additionally appear as "pe/task" entries, and their PE entry holds
+	// the sum.
+	CyclesByPE map[string]uint64
+	// SwitchesByPE counts RTOS dispatches per RTOS-managed PE.
+	SwitchesByPE map[string]uint64
+	EndPs        sim.Time      // simulated end time (timed runs)
+	Wall         time.Duration // host wall-clock simulation time
+	AnnoTime     time.Duration // annotation time (timed runs)
+	BusWords     uint64
+	Steps        uint64 // total dynamic IR instructions
+}
+
+// EndCycles converts the simulated end time to cycles of the given clock.
+func (r *Result) EndCycles(clockHz int64) uint64 {
+	period := 1_000_000_000_000 / uint64(clockHz)
+	return uint64(r.EndPs) / period
+}
+
+// procRun tracks one spawned application process.
+type procRun struct {
+	key  string
+	m    *interp.Machine
+	task *rtos.Task // nil for plain processes
+	pe   *platform.PE
+	err  error
+}
+
+// Run generates and executes the TLM for a design. The generated model is
+// one kernel process per application process running its annotated CDFG
+// through the native interpreter, connected by abstract bus channels;
+// multi-task processor PEs are arbitrated by the timed RTOS model.
+func Run(d *platform.Design, opts Options) (*Result, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if err := d.ValidateChannels(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Design:       d.Name,
+		OutByPE:      make(map[string][]int32),
+		CyclesByPE:   make(map[string]uint64),
+		SwitchesByPE: make(map[string]uint64),
+	}
+
+	// Annotation phase (timed models only): one delay map per PE.
+	delays := make(map[*platform.PE]map[*cdfg.Block]float64, len(d.PEs))
+	if opts.Timed {
+		annoStart := time.Now()
+		for _, pe := range d.PEs {
+			a := annotate.Annotate(d.Program, pe.PUM, opts.Detail)
+			delays[pe] = a.Delays()
+		}
+		res.AnnoTime = time.Since(annoStart)
+	}
+
+	k := sim.NewKernel()
+	bus := NewBus(k, d.Bus, opts.Timed)
+	if opts.Trace != nil {
+		bus.WithTrace(opts.Trace)
+	}
+	var runs []*procRun
+	var rtosCPUs []struct {
+		pe  *platform.PE
+		cpu *rtos.CPU
+	}
+	wallStart := time.Now()
+	for _, pe := range d.PEs {
+		pe := pe
+		periodPs := sim.Time(1_000_000_000_000 / pe.PUM.ClockHz)
+		if len(pe.Tasks) > 0 && opts.Timed {
+			cpu := rtos.NewCPU(k, pe.RTOS, periodPs)
+			if opts.Trace != nil {
+				sigs := make(map[string]*trace.Signal)
+				for _, tk := range pe.Tasks {
+					sigs[tk.Name] = opts.Trace.Signal(pe.Name + "/" + tk.Name + "_busy")
+				}
+				vcd := opts.Trace
+				cpu.OnRun = func(t *rtos.Task, from, to sim.Time) {
+					if sig := sigs[t.Name]; sig != nil {
+						vcd.Pulse(sig, from, to)
+					}
+				}
+			}
+			rtosCPUs = append(rtosCPUs, struct {
+				pe  *platform.PE
+				cpu *rtos.CPU
+			}{pe, cpu})
+			for _, tk := range pe.Tasks {
+				tk := tk
+				runs = append(runs, spawnRTOSTask(k, d, pe, tk, cpu, bus, delays[pe], opts))
+			}
+			continue
+		}
+		for _, task := range pe.Processes() {
+			task := task
+			key := pe.Name
+			if len(pe.Tasks) > 0 {
+				key = pe.Name + "/" + task.Name
+			}
+			runs = append(runs, spawnProcess(k, d, pe, key, task.Entry, bus, delays[pe], periodPs, opts, res))
+		}
+	}
+	end, err := k.Run()
+	res.Wall = time.Since(wallStart)
+	res.EndPs = end
+	res.BusWords = bus.Words
+	for _, pr := range runs {
+		if pr.err != nil {
+			return nil, fmt.Errorf("tlm: process %s: %w", pr.key, pr.err)
+		}
+		res.OutByPE[pr.key] = append([]int32(nil), pr.m.Out...)
+		res.Steps += pr.m.Steps
+		if pr.task != nil {
+			res.CyclesByPE[pr.key] = pr.task.CPUCycles
+			res.CyclesByPE[pr.pe.Name] += pr.task.CPUCycles
+		}
+	}
+	for _, rc := range rtosCPUs {
+		res.SwitchesByPE[rc.pe.Name] = rc.cpu.Switches
+	}
+	if err != nil {
+		return nil, fmt.Errorf("tlm: %s: %w", d.Name, err)
+	}
+	return res, nil
+}
+
+// spawnProcess wires a plain (non-RTOS) process onto the kernel.
+func spawnProcess(k *sim.Kernel, d *platform.Design, pe *platform.PE, key, entry string,
+	bus *Bus, dm map[*cdfg.Block]float64, periodPs sim.Time, opts Options, res *Result) *procRun {
+	pr := &procRun{key: key, pe: pe}
+	m := interp.New(d.Program)
+	m.Limit = opts.StepLimit
+	pr.m = m
+	k.Spawn(key, func(p *sim.Process) {
+		var busy *trace.Signal
+		if opts.Trace != nil {
+			busy = opts.Trace.Signal(key + "_busy")
+		}
+		var pendingCycles float64
+		drain := func() {
+			if pendingCycles > 0 {
+				start := p.Now()
+				p.Wait(sim.Time(pendingCycles) * periodPs)
+				if busy != nil {
+					opts.Trace.Pulse(busy, start, p.Now())
+				}
+				res.CyclesByPE[key] += uint64(pendingCycles)
+				pendingCycles = 0
+			}
+		}
+		if opts.Timed {
+			if opts.WaitMode == WaitPerBlock {
+				m.OnBlock = func(b *cdfg.Block) {
+					delay := dm[b]
+					if delay > 0 {
+						start := p.Now()
+						p.Wait(sim.Time(delay) * periodPs)
+						if busy != nil {
+							opts.Trace.Pulse(busy, start, p.Now())
+						}
+						res.CyclesByPE[key] += uint64(delay)
+					}
+				}
+			} else {
+				m.OnBlock = func(b *cdfg.Block) { pendingCycles += dm[b] }
+			}
+		}
+		m.Send = func(ch int, data []int32) error {
+			drain()
+			bus.Send(p, ch, data)
+			return nil
+		}
+		m.Recv = func(ch int, buf []int32) error {
+			drain()
+			bus.Recv(p, ch, buf)
+			return nil
+		}
+		if err := m.Run(entry); err != nil {
+			pr.err = err
+			k.Stop()
+			return
+		}
+		drain()
+	})
+	return pr
+}
+
+// spawnRTOSTask wires one RTOS-managed task: its block delays consume the
+// shared CPU through the RTOS arbiter, and communication releases the CPU
+// while blocked (the timed RTOS model).
+func spawnRTOSTask(k *sim.Kernel, d *platform.Design, pe *platform.PE, tk platform.SWTask,
+	cpu *rtos.CPU, bus *Bus, dm map[*cdfg.Block]float64, opts Options) *procRun {
+	key := pe.Name + "/" + tk.Name
+	pr := &procRun{key: key, pe: pe}
+	task := cpu.AddTask(tk.Name, tk.Priority)
+	pr.task = task
+	m := interp.New(d.Program)
+	m.Limit = opts.StepLimit
+	pr.m = m
+	k.Spawn(key, func(p *sim.Process) {
+		cpu.Bind(task, p)
+		var pendingCycles float64
+		drain := func() {
+			if pendingCycles > 0 {
+				cpu.Consume(task, uint64(pendingCycles))
+				pendingCycles = 0
+			}
+		}
+		if opts.WaitMode == WaitPerBlock {
+			m.OnBlock = func(b *cdfg.Block) {
+				if delay := dm[b]; delay > 0 {
+					cpu.Consume(task, uint64(delay))
+					cpu.SchedulingPoint(task)
+				}
+			}
+		} else {
+			m.OnBlock = func(b *cdfg.Block) { pendingCycles += dm[b] }
+		}
+		m.Send = func(ch int, data []int32) error {
+			drain()
+			cpu.SchedulingPoint(task)
+			cpu.Block(task, func() { bus.Send(p, ch, data) })
+			return nil
+		}
+		m.Recv = func(ch int, buf []int32) error {
+			drain()
+			cpu.SchedulingPoint(task)
+			cpu.Block(task, func() { bus.Recv(p, ch, buf) })
+			return nil
+		}
+		if err := m.Run(tk.Entry); err != nil {
+			pr.err = err
+			k.Stop()
+			return
+		}
+		drain()
+		cpu.Finish(task)
+	})
+	return pr
+}
+
+// RunFunctional executes the untimed (functional) TLM.
+func RunFunctional(d *platform.Design, limit uint64) (*Result, error) {
+	return Run(d, Options{Timed: false, StepLimit: limit})
+}
+
+// RunTimed executes the timed TLM with full PUM detail and transaction-
+// boundary waits, the configuration the paper evaluates.
+func RunTimed(d *platform.Design, limit uint64) (*Result, error) {
+	return Run(d, Options{
+		Timed:     true,
+		WaitMode:  WaitAtTransactions,
+		StepLimit: limit,
+		Detail:    core.FullDetail,
+	})
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"ese/internal/sim"
+)
+
+func TestRenderStructure(t *testing.T) {
+	v := New()
+	a := v.Signal("cpu_busy")
+	b := v.Signal("bus busy") // space must be sanitized
+	v.Pulse(a, 100, 200)
+	v.Pulse(b, 150, 250)
+	out := v.Render()
+	for _, want := range []string{
+		"$timescale 1ps $end",
+		"$var wire 1 ! cpu_busy $end",
+		"$var wire 1 \" bus_busy $end",
+		"$enddefinitions $end",
+		"$dumpvars",
+		"#100",
+		"#150",
+		"#200",
+		"#250",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderChronological(t *testing.T) {
+	v := New()
+	a := v.Signal("a")
+	// Recorded out of order.
+	v.Set(a, 300, 0)
+	v.Set(a, 100, 1)
+	out := v.Render()
+	i1 := strings.Index(out, "#100")
+	i3 := strings.Index(out, "#300")
+	if i1 < 0 || i3 < 0 || i1 > i3 {
+		t.Fatalf("timestamps out of order:\n%s", out)
+	}
+	// Times must be non-decreasing overall.
+	last := -1
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "#") {
+			n, err := strconv.Atoi(line[1:])
+			if err != nil {
+				t.Fatalf("bad timestamp %q", line)
+			}
+			if n < last {
+				t.Fatalf("timestamp %d after %d", n, last)
+			}
+			last = n
+		}
+	}
+}
+
+func TestRenderDedupsRepeatedValues(t *testing.T) {
+	v := New()
+	a := v.Signal("a")
+	v.Set(a, 10, 1)
+	v.Set(a, 20, 1) // repeated value: no change emitted
+	v.Set(a, 30, 0)
+	out := v.Render()
+	if strings.Contains(out, "#20") {
+		t.Fatalf("repeated value emitted a change:\n%s", out)
+	}
+	if strings.Count(out, "1!") != 1 {
+		t.Fatalf("expected exactly one rising change:\n%s", out)
+	}
+}
+
+func TestManySignalsGetDistinctIDs(t *testing.T) {
+	v := New()
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		s := v.Signal("s" + strconv.Itoa(i))
+		if seen[s.id] {
+			t.Fatalf("duplicate VCD id %q", s.id)
+		}
+		seen[s.id] = true
+	}
+}
+
+func TestZeroTimeChange(t *testing.T) {
+	v := New()
+	a := v.Signal("a")
+	v.Set(a, 0, 1)
+	v.Set(a, sim.Time(50), 0)
+	out := v.Render()
+	if !strings.Contains(out, "#0\n1!") {
+		t.Fatalf("missing initial change at time 0:\n%s", out)
+	}
+}
