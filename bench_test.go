@@ -314,6 +314,86 @@ func BenchmarkEngine_AnnotateProgram(b *testing.B) {
 	}
 }
 
+// ---- Staged pipeline: parallel and memoized annotation ----
+
+// BenchmarkAnnotateSerial is the reference single-worker, uncached
+// estimation pass over the MP3 SW program.
+func BenchmarkAnnotateSerial(b *testing.B) {
+	prog, err := apps.CompileMP3("SW", benchEval)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := pum.MicroBlaze().WithCache(benchCache)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.EstimateBlocksWith(prog, model, core.FullDetail, core.EstOptions{Workers: 1})
+	}
+}
+
+// BenchmarkAnnotateParallel is the same pass through the bounded worker
+// pool (GOMAXPROCS workers), still uncached.
+func BenchmarkAnnotateParallel(b *testing.B) {
+	prog, err := apps.CompileMP3("SW", benchEval)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := pum.MicroBlaze().WithCache(benchCache)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.EstimateBlocksWith(prog, model, core.FullDetail, core.EstOptions{})
+	}
+}
+
+// benchSweep annotates the MP3 SW program for every standard cache
+// configuration through one pipeline (shared or fresh per iteration).
+func benchSweep(b *testing.B, fresh bool) {
+	prog, err := apps.CompileMP3("SW", benchEval)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := pum.MicroBlaze()
+	models := make([]*pum.PUM, 0, len(pum.StandardCacheConfigs))
+	for _, cc := range pum.StandardCacheConfigs {
+		m, err := base.WithCache(cc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		models = append(models, m)
+	}
+	pl := NewPipeline(PipelineOptions{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if fresh {
+			pl = NewPipeline(PipelineOptions{})
+		}
+		for _, m := range models {
+			pl.Annotate(prog, m)
+		}
+	}
+	b.StopTimer()
+	cs := pl.Stats()
+	b.ReportMetric(float64(cs.SchedHits), "sched-hits")
+	b.ReportMetric(float64(cs.SchedMisses), "sched-misses")
+}
+
+// BenchmarkRetargetSweepCold rebuilds the cache every sweep: each
+// iteration pays one full schedule pass plus four statistical
+// recompositions (the paper's retargeting workflow from scratch).
+func BenchmarkRetargetSweepCold(b *testing.B) { benchSweep(b, true) }
+
+// BenchmarkRetargetSweepCached shares one pipeline across iterations, so
+// after the first sweep every schedule and estimate is served from cache.
+func BenchmarkRetargetSweepCached(b *testing.B) { benchSweep(b, false) }
+
 func BenchmarkEngine_CompileMP3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := apps.CompileMP3("SW", benchEval); err != nil {

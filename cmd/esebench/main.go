@@ -128,5 +128,10 @@ func run(frames, table int, ablation string, all, jsonOut bool) error {
 		}
 		emit(study)
 	}
+	if !jsonOut {
+		cs := s.Pipe.Stats()
+		fmt.Printf("\nestimation cache: %d schedule hits / %d misses, %d estimate hits / %d misses\n",
+			cs.SchedHits, cs.SchedMisses, cs.EstHits, cs.EstMisses)
+	}
 	return nil
 }

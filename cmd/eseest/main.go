@@ -70,7 +70,8 @@ func run(file, pumName string, icache, dcache int, emitC, emitGo, blocks, dump b
 	if err != nil {
 		return err
 	}
-	prog, err := ese.CompileC(file, string(src))
+	pl := ese.NewPipeline(ese.PipelineOptions{})
+	prog, err := pl.Compile(file, string(src))
 	if err != nil {
 		return err
 	}
@@ -114,7 +115,7 @@ func run(file, pumName string, icache, dcache int, emitC, emitGo, blocks, dump b
 			return err
 		}
 	}
-	a := ese.Annotate(prog, model)
+	a := pl.Annotate(prog, model)
 	switch {
 	case emitC:
 		fmt.Print(a.EmitTimedC())

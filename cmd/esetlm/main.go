@@ -85,11 +85,12 @@ func run(design string, frames, icache, dcache int, engine string, calibrate, gr
 		}
 		printTLM(res, d)
 	case "timed":
+		pl := ese.NewPipeline(ese.PipelineOptions{})
 		var res *ese.TLMResult
 		var err error
 		if vcdPath != "" {
 			v := trace.New()
-			res, err = tlm.Run(d, tlm.Options{
+			res, err = pl.Simulate(d, tlm.Options{
 				Timed:    true,
 				WaitMode: tlm.WaitAtTransactions,
 				Detail:   core.FullDetail,
@@ -102,7 +103,7 @@ func run(design string, frames, icache, dcache int, engine string, calibrate, gr
 				fmt.Printf("wrote waveform to %s\n", vcdPath)
 			}
 		} else {
-			res, err = ese.RunTimedTLM(d)
+			res, err = pl.RunTimed(d)
 		}
 		if err != nil {
 			return err

@@ -15,6 +15,26 @@
 //	board, _ := ese.RunBoard(design)               // cycle-accurate reference
 //	src, _ := ese.GenerateTLM(design)              // standalone Go TLM
 //
+// Under the hood the flow is a staged pipeline (Parse → Check → Lower →
+// Simplify → Annotate → Build/Simulate) with a content-addressed
+// schedule/estimate cache and a bounded annotation worker pool. For
+// multi-configuration retarget sweeps, construct one Pipeline and push
+// every configuration through it — Algorithm 1 schedules are computed
+// once per (block, datapath) pair and reused across cache/branch
+// configurations:
+//
+//	pl := ese.NewPipeline(ese.PipelineOptions{})
+//	prog, _ := pl.Compile("app.c", src)
+//	for _, cc := range ese.StandardCacheConfigs {
+//		cfg, _ := mb.WithCache(cc)
+//		a := pl.Annotate(prog, cfg)            // schedules reused after 1st
+//		_ = a
+//	}
+//	fmt.Println(pl.Stats())                    // cache hit/miss counters
+//
+// The one-shot functions below (CompileC, Annotate, RunTimedTLM, ...) are
+// thin wrappers over a process-wide default pipeline.
+//
 // All heavy lifting lives in internal packages; this package re-exports the
 // stable surface a downstream user needs.
 package ese
@@ -23,8 +43,8 @@ import (
 	"ese/internal/annotate"
 	"ese/internal/apps"
 	"ese/internal/cdfg"
-	"ese/internal/cfront"
 	"ese/internal/core"
+	"ese/internal/engine"
 	"ese/internal/interp"
 	"ese/internal/iss"
 	"ese/internal/platform"
@@ -89,6 +109,26 @@ var FullDetail = core.FullDetail
 // StandardCacheConfigs are the five I/D cache configurations of Tables 2–3.
 var StandardCacheConfigs = pum.StandardCacheConfigs
 
+// Staged pipeline (see internal/engine): explicit stages with a shared
+// schedule/estimate cache and a bounded annotation worker pool.
+type (
+	// Pipeline is a staged estimation flow. Reuse one across a retarget
+	// sweep so Algorithm 1 schedules are computed once per block.
+	Pipeline = engine.Pipeline
+	// PipelineOptions configures a Pipeline (workers, cache, detail).
+	PipelineOptions = engine.Options
+	// CacheStats reports schedule/estimate cache hit and miss counters.
+	CacheStats = core.CacheStats
+)
+
+// NewPipeline constructs a staged estimation pipeline.
+func NewPipeline(opts PipelineOptions) *Pipeline { return engine.New(opts) }
+
+// defaultPipeline backs the package-level one-shot functions. It shares
+// one process-wide cache, so repeated one-shot calls on identical content
+// also reuse schedules.
+var defaultPipeline = engine.New(engine.Options{})
+
 // Simplify runs compiler-style CFG cleanup (jump threading, block
 // merging) on a lowered program, growing basic blocks — see ablation A6
 // for its effect on estimation accuracy.
@@ -96,15 +136,7 @@ func Simplify(prog *Program) { cdfg.SimplifyProgram(prog) }
 
 // CompileC parses, checks and lowers a C-subset source into CDFG form.
 func CompileC(name, src string) (*Program, error) {
-	f, err := cfront.Parse(name, src)
-	if err != nil {
-		return nil, err
-	}
-	u, err := cfront.Check(f)
-	if err != nil {
-		return nil, err
-	}
-	return cdfg.Lower(u)
+	return defaultPipeline.Compile(name, src)
 }
 
 // MicroBlazePUM returns the built-in MicroBlaze-like processor model.
@@ -122,12 +154,12 @@ func LoadPUM(data []byte) (*PUM, error) { return pum.FromJSON(data) }
 // Annotate estimates every basic block of the program against the PE model
 // with full Algorithm 2 detail.
 func Annotate(prog *Program, p *PUM) *Annotated {
-	return annotate.Annotate(prog, p, core.FullDetail)
+	return defaultPipeline.Annotate(prog, p)
 }
 
 // AnnotateWithDetail estimates with a chosen subset of PUM sub-models.
 func AnnotateWithDetail(prog *Program, p *PUM, d Detail) *Annotated {
-	return annotate.Annotate(prog, p, d)
+	return defaultPipeline.AnnotateDetail(prog, p, d)
 }
 
 // EstimateBlock runs Algorithms 1 and 2 on a single basic block.
@@ -146,11 +178,11 @@ func Calibrate(base *PUM, trainProg *Program, entry string) (*PUM, error) {
 func DefaultBus() platform.Bus { return platform.DefaultBus() }
 
 // RunFunctionalTLM executes the untimed TLM of a design.
-func RunFunctionalTLM(d *Design) (*TLMResult, error) { return tlm.RunFunctional(d, 0) }
+func RunFunctionalTLM(d *Design) (*TLMResult, error) { return defaultPipeline.RunFunctional(d) }
 
 // RunTimedTLM generates and executes the timed TLM of a design (per-block
 // delays applied at transaction boundaries).
-func RunTimedTLM(d *Design) (*TLMResult, error) { return tlm.RunTimed(d, 0) }
+func RunTimedTLM(d *Design) (*TLMResult, error) { return defaultPipeline.RunTimed(d) }
 
 // RunBoard runs the cycle-accurate full-system reference simulation.
 func RunBoard(d *Design) (*BoardResult, error) { return rtl.RunBoard(d, 0) }

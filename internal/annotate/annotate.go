@@ -29,10 +29,18 @@ type Annotated struct {
 	Elapsed time.Duration
 }
 
-// Annotate runs the estimation engine over every basic block.
+// Annotate runs the estimation engine over every basic block, fanning
+// blocks out over the default worker pool.
 func Annotate(prog *cdfg.Program, p *pum.PUM, detail core.Detail) *Annotated {
+	return AnnotateWith(prog, p, detail, core.EstOptions{})
+}
+
+// AnnotateWith runs the estimation engine with an explicit worker bound
+// and optional schedule/estimate cache (see core.EstOptions). It is the
+// entry point the staged pipeline of internal/engine uses.
+func AnnotateWith(prog *cdfg.Program, p *pum.PUM, detail core.Detail, opts core.EstOptions) *Annotated {
 	start := time.Now()
-	est := core.EstimateBlocks(prog, p, detail)
+	est := core.EstimateBlocksWith(prog, p, detail, opts)
 	return &Annotated{
 		Prog:    prog,
 		PUM:     p,

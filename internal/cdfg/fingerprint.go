@@ -1,0 +1,79 @@
+package cdfg
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Fingerprint is a canonical content hash of an IR artifact, used as a
+// content-addressed cache key by the estimation pipeline. Fingerprints are
+// stable across process runs and across recompilations: two blocks lowered
+// from identical source text hash identically even though their Block
+// pointers differ, which is what lets a retarget sweep reuse schedule
+// results computed for an earlier compilation of the same program.
+type Fingerprint [sha256.Size]byte
+
+// String returns a short hex form for logs and debugging.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:8]) }
+
+// Fingerprint returns the structural hash of the block: every
+// instruction's opcode, operands, control-flow targets (by block ID),
+// callee signature (name plus parameter array-ness, which the operand
+// counting of Algorithm 2 depends on), and channel id. The annotation
+// output field Delay is deliberately excluded. Blocks with equal
+// fingerprints produce identical SchedResults on any given PUM.
+func (b *Block) Fingerprint() Fingerprint {
+	h := sha256.New()
+	var buf [8]byte
+	wInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	wRef := func(r Ref) {
+		wInt(int64(r.Kind))
+		wInt(int64(r.Val))
+		wInt(int64(r.Idx))
+	}
+	wBlockID := func(t *Block) {
+		if t == nil {
+			wInt(-1)
+			return
+		}
+		wInt(int64(t.ID))
+	}
+	wInt(int64(len(b.Instrs)))
+	for i := range b.Instrs {
+		in := &b.Instrs[i]
+		wInt(int64(in.Op))
+		wRef(in.Dst)
+		wRef(in.A)
+		wRef(in.B)
+		wRef(in.Arr)
+		wBlockID(in.Then)
+		wBlockID(in.Else)
+		wBlockID(in.Target)
+		if in.Callee != nil {
+			wInt(int64(len(in.Callee.Name)))
+			h.Write([]byte(in.Callee.Name))
+			wInt(int64(len(in.Callee.Params)))
+			for _, p := range in.Callee.Params {
+				if p.IsArray {
+					wInt(1)
+				} else {
+					wInt(0)
+				}
+			}
+		} else {
+			wInt(-1)
+		}
+		wInt(int64(in.Chan))
+		wInt(int64(len(in.Args)))
+		for _, a := range in.Args {
+			wRef(a)
+		}
+	}
+	var f Fingerprint
+	h.Sum(f[:0])
+	return f
+}

@@ -1,0 +1,97 @@
+package cdfg
+
+import "testing"
+
+const fpSrc = `
+int work(int a[], int n) {
+	int s = 0;
+	int i;
+	for (i = 0; i < n; i = i + 1) {
+		if (a[i] > 0) {
+			s = s + a[i];
+		} else {
+			s = s - 1;
+		}
+	}
+	return s;
+}
+void main() {
+	int buf[4];
+	int i;
+	for (i = 0; i < 4; i = i + 1) {
+		buf[i] = i * 3;
+	}
+	out(work(buf, 4));
+}
+`
+
+// TestFingerprintStableAcrossRecompilation: the same source compiled
+// twice yields pairwise-equal block fingerprints despite distinct block
+// pointers — the property the content-addressed cache depends on.
+func TestFingerprintStableAcrossRecompilation(t *testing.T) {
+	p1 := compile(t, fpSrc)
+	p2 := compile(t, fpSrc)
+	for i, fn := range p1.Funcs {
+		fn2 := p2.Funcs[i]
+		for j, b := range fn.Blocks {
+			b2 := fn2.Blocks[j]
+			if b == b2 {
+				t.Fatalf("%s bb%d: recompilation returned the same pointer", fn.Name, b.ID)
+			}
+			if b.Fingerprint() != b2.Fingerprint() {
+				t.Errorf("%s bb%d: fingerprints differ across recompilation", fn.Name, b.ID)
+			}
+		}
+	}
+}
+
+// TestFingerprintIgnoresDelay: the annotation output must not feed back
+// into the key, or a second annotation pass would never hit the cache.
+func TestFingerprintIgnoresDelay(t *testing.T) {
+	p := compile(t, fpSrc)
+	b := p.Funcs[0].Blocks[0]
+	before := b.Fingerprint()
+	b.Delay = 123.5
+	if b.Fingerprint() != before {
+		t.Error("Block.Delay changed the structural fingerprint")
+	}
+}
+
+// TestFingerprintSensitivity: structurally different blocks hash apart,
+// and editing an instruction changes the hash.
+func TestFingerprintSensitivity(t *testing.T) {
+	p := compile(t, fpSrc)
+	seen := make(map[Fingerprint][]*Block)
+	total := 0
+	for _, fn := range p.Funcs {
+		for _, b := range fn.Blocks {
+			fp := b.Fingerprint()
+			seen[fp] = append(seen[fp], b)
+			total++
+		}
+	}
+	if len(seen) < 2 {
+		t.Fatalf("all %d blocks collided onto %d fingerprints", total, len(seen))
+	}
+	// Mutating an opcode must change the hash.
+	var target *Block
+	for _, fn := range p.Funcs {
+		for _, b := range fn.Blocks {
+			if len(b.Instrs) > 0 {
+				target = b
+			}
+		}
+	}
+	if target == nil {
+		t.Fatal("no block with instructions")
+	}
+	before := target.Fingerprint()
+	old := target.Instrs[0].Op
+	target.Instrs[0].Op = OpMul
+	if old == OpMul {
+		target.Instrs[0].Op = OpAdd
+	}
+	if target.Fingerprint() == before {
+		t.Error("changing an opcode did not change the fingerprint")
+	}
+}

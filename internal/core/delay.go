@@ -19,6 +19,20 @@ type Estimate struct {
 	Total     float64 // round(Sched + BranchPen + IDelay + DDelay)
 }
 
+// SchedResult is the statistics-independent part of a block's estimate:
+// Algorithm 1's optimistic scheduling delay plus the structural block
+// counts that Algorithm 2's statistical terms scale. It depends only on
+// the block's body and the PUM's execution/datapath sub-models — not on
+// the branch or memory statistics — so it stays valid when the statistical
+// models are retargeted (e.g. across a cache-configuration sweep), which
+// is what makes it worth caching (see Cache).
+type SchedResult struct {
+	Sched    int  // Algorithm 1 optimistic scheduling delay
+	Ops      int  // "# of BB Ops"
+	Operands int  // "# of BB Operands"
+	CondBr   bool // block ends in a conditional branch
+}
+
 // Detail selects which PUM sub-models participate in BlockDelay. The full
 // model is the paper's Algorithm 2; the reduced settings implement the
 // PUM-detail ablation (scheduling only, +memory, +branch).
@@ -36,6 +50,21 @@ type Detail struct {
 	PipelineOverlap bool
 }
 
+// bits encodes the detail flags for use in cache keys.
+func (d Detail) bits() uint8 {
+	var b uint8
+	if d.Memory {
+		b |= 1
+	}
+	if d.Branch {
+		b |= 2
+	}
+	if d.PipelineOverlap {
+		b |= 4
+	}
+	return b
+}
+
 // FullDetail applies every sub-model, as the paper does.
 var FullDetail = Detail{Memory: true, Branch: true}
 
@@ -43,17 +72,35 @@ var FullDetail = Detail{Memory: true, Branch: true}
 // extension.
 var OverlapDetail = Detail{Memory: true, Branch: true, PipelineOverlap: true}
 
-// BlockDelay computes the estimated delay of one basic block on the PUM —
-// Algorithm 2 of the paper. The optimistic scheduling delay is extended
-// with the statistical branch misprediction penalty (for pipelined PEs, on
-// blocks ending in a conditional branch) and the statistical i-cache and
-// d-cache delays.
-func BlockDelay(b *cdfg.Block, p *pum.PUM, detail Detail) Estimate {
+// ScheduleBlock runs Algorithm 1 on one block and collects the structural
+// counts Algorithm 2 needs, reusing the scheduler's scratch state.
+func (s *Scheduler) ScheduleBlock(b *cdfg.Block) SchedResult {
 	d := cdfg.BuildDFG(b)
-	e := Estimate{
-		Sched:    Schedule(d, p),
+	sr := SchedResult{
+		Sched:    s.Schedule(d),
 		Ops:      cdfg.NumOps(b),
 		Operands: cdfg.BlockMemOperands(b),
+	}
+	if t := b.Terminator(); t != nil && t.Op == cdfg.OpBr {
+		sr.CondBr = true
+	}
+	return sr
+}
+
+// ScheduleBlock is the one-shot form of Scheduler.ScheduleBlock.
+func ScheduleBlock(b *cdfg.Block, p *pum.PUM) SchedResult {
+	return NewScheduler(p).ScheduleBlock(b)
+}
+
+// ComposeEstimate extends a schedule result with the statistical branch
+// misprediction penalty (for pipelined PEs, on blocks ending in a
+// conditional branch) and the statistical i-cache and d-cache delays —
+// the statistical half of Algorithm 2.
+func ComposeEstimate(sr SchedResult, p *pum.PUM, detail Detail) Estimate {
+	e := Estimate{
+		Sched:    sr.Sched,
+		Ops:      sr.Ops,
+		Operands: sr.Operands,
 	}
 	if detail.PipelineOverlap && e.Ops > 0 {
 		// Remove the per-block pipeline fill that back-to-back execution
@@ -70,10 +117,8 @@ func BlockDelay(b *cdfg.Block, p *pum.PUM, detail Detail) Estimate {
 			e.Sched = floor
 		}
 	}
-	if detail.Branch && p.Pipelined {
-		if t := b.Terminator(); t != nil && t.Op == cdfg.OpBr {
-			e.BranchPen = p.Branch.MissRate * p.Branch.Penalty
-		}
+	if detail.Branch && p.Pipelined && sr.CondBr {
+		e.BranchPen = p.Branch.MissRate * p.Branch.Penalty
 	}
 	if detail.Memory {
 		st := p.Mem.Current
@@ -92,17 +137,11 @@ func BlockDelay(b *cdfg.Block, p *pum.PUM, detail Detail) Estimate {
 	return e
 }
 
-// EstimateBlocks computes the per-block estimate for every block of every
-// function under one PUM, without mutating the IR. Platforms that map
-// functions of the same program onto several PEs keep one such map per PE.
-func EstimateBlocks(prog *cdfg.Program, p *pum.PUM, detail Detail) map[*cdfg.Block]Estimate {
-	out := make(map[*cdfg.Block]Estimate, prog.NumBlocks())
-	for _, fn := range prog.Funcs {
-		for _, b := range fn.Blocks {
-			out[b] = BlockDelay(b, p, detail)
-		}
-	}
-	return out
+// BlockDelay computes the estimated delay of one basic block on the PUM —
+// Algorithm 2 of the paper: the optimistic scheduling delay of Algorithm 1
+// extended with the statistical penalties of ComposeEstimate.
+func BlockDelay(b *cdfg.Block, p *pum.PUM, detail Detail) Estimate {
+	return ComposeEstimate(ScheduleBlock(b, p), p, detail)
 }
 
 // Report summarizes the annotation of a whole program.
@@ -120,11 +159,12 @@ type Report struct {
 // wait() call at the end of each basic block). It returns a report of the
 // static annotation.
 func AnnotateProgram(prog *cdfg.Program, p *pum.PUM, detail Detail) *Report {
+	est := EstimateBlocks(prog, p, detail)
 	r := &Report{PUM: p.Name, PerFunc: make(map[string]float64)}
 	for _, fn := range prog.Funcs {
 		sum := 0.0
 		for _, b := range fn.Blocks {
-			e := BlockDelay(b, p, detail)
+			e := est[b]
 			b.Delay = e.Total
 			sum += e.Total
 			r.Blocks++

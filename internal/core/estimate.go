@@ -1,0 +1,212 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ese/internal/cdfg"
+	"ese/internal/pum"
+)
+
+// schedKey addresses one Algorithm 1 result: a block's structural hash
+// under a PUM datapath hash. Cache/branch statistics are deliberately not
+// part of the key — the schedule does not depend on them.
+type schedKey struct {
+	model pum.Fingerprint
+	block cdfg.Fingerprint
+}
+
+// estKey addresses one full Algorithm 2 estimate: the schedule key plus
+// the statistical-model hash and the detail flags.
+type estKey struct {
+	model  pum.Fingerprint
+	stats  pum.Fingerprint
+	block  cdfg.Fingerprint
+	detail uint8
+}
+
+// CacheStats reports the hit/miss counters of a Cache.
+type CacheStats struct {
+	SchedHits   uint64 // Algorithm 1 results served from cache
+	SchedMisses uint64 // Algorithm 1 results computed
+	EstHits     uint64 // full estimates served from cache
+	EstMisses   uint64 // full estimates composed
+}
+
+// Cache is a content-addressed store of schedule results and estimates,
+// keyed on canonical fingerprints of the block and the PUM sub-models it
+// consumed. Because keys are content hashes, the cache survives
+// recompilation: a retarget sweep that rebuilds the program for every
+// cache configuration still reuses every Algorithm 1 schedule after the
+// first configuration. Safe for concurrent use.
+type Cache struct {
+	mu    sync.RWMutex
+	sched map[schedKey]SchedResult
+	est   map[estKey]Estimate
+
+	schedHits, schedMisses atomic.Uint64
+	estHits, estMisses     atomic.Uint64
+}
+
+// NewCache returns an empty schedule/estimate cache.
+func NewCache() *Cache {
+	return &Cache{
+		sched: make(map[schedKey]SchedResult),
+		est:   make(map[estKey]Estimate),
+	}
+}
+
+// Stats returns a snapshot of the hit/miss counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		SchedHits:   c.schedHits.Load(),
+		SchedMisses: c.schedMisses.Load(),
+		EstHits:     c.estHits.Load(),
+		EstMisses:   c.estMisses.Load(),
+	}
+}
+
+// Len returns the number of cached schedule and estimate entries.
+func (c *Cache) Len() (sched, est int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.sched), len(c.est)
+}
+
+func (c *Cache) schedGet(k schedKey) (SchedResult, bool) {
+	c.mu.RLock()
+	sr, ok := c.sched[k]
+	c.mu.RUnlock()
+	if ok {
+		c.schedHits.Add(1)
+	} else {
+		c.schedMisses.Add(1)
+	}
+	return sr, ok
+}
+
+func (c *Cache) schedPut(k schedKey, sr SchedResult) {
+	c.mu.Lock()
+	c.sched[k] = sr
+	c.mu.Unlock()
+}
+
+func (c *Cache) estGet(k estKey) (Estimate, bool) {
+	c.mu.RLock()
+	e, ok := c.est[k]
+	c.mu.RUnlock()
+	if ok {
+		c.estHits.Add(1)
+	} else {
+		c.estMisses.Add(1)
+	}
+	return e, ok
+}
+
+func (c *Cache) estPut(k estKey, e Estimate) {
+	c.mu.Lock()
+	c.est[k] = e
+	c.mu.Unlock()
+}
+
+// EstOptions configures EstimateBlocksWith.
+type EstOptions struct {
+	// Workers bounds the estimation worker pool. Zero or negative uses
+	// GOMAXPROCS; 1 estimates serially on the calling goroutine (the
+	// reference path the golden tests compare against).
+	Workers int
+	// Cache, when non-nil, memoizes schedule results and estimates across
+	// calls, keyed on content fingerprints.
+	Cache *Cache
+}
+
+// EstimateBlocks computes the per-block estimate for every block of every
+// function under one PUM, without mutating the IR, fanning the blocks out
+// over a bounded worker pool. Results are bit-identical to the serial
+// path: every block is estimated independently and deterministically.
+// Platforms that map functions of the same program onto several PEs keep
+// one such map per PE.
+func EstimateBlocks(prog *cdfg.Program, p *pum.PUM, detail Detail) map[*cdfg.Block]Estimate {
+	return EstimateBlocksWith(prog, p, detail, EstOptions{})
+}
+
+// EstimateBlocksWith is EstimateBlocks with an explicit worker bound and
+// optional memoization cache.
+func EstimateBlocksWith(prog *cdfg.Program, p *pum.PUM, detail Detail, opts EstOptions) map[*cdfg.Block]Estimate {
+	var blocks []*cdfg.Block
+	for _, fn := range prog.Funcs {
+		blocks = append(blocks, fn.Blocks...)
+	}
+	n := len(blocks)
+	out := make(map[*cdfg.Block]Estimate, n)
+	if n == 0 {
+		return out
+	}
+
+	// Resolve the model fingerprints once per call; they are shared by
+	// every block's cache key.
+	var dpFP, stFP pum.Fingerprint
+	var detailBits uint8
+	if opts.Cache != nil {
+		dpFP = p.DatapathFingerprint()
+		stFP = p.StatFingerprint()
+		detailBits = detail.bits()
+	}
+	estimate := func(s *Scheduler, b *cdfg.Block) Estimate {
+		if opts.Cache == nil {
+			return ComposeEstimate(s.ScheduleBlock(b), p, detail)
+		}
+		bfp := b.Fingerprint()
+		ek := estKey{model: dpFP, stats: stFP, block: bfp, detail: detailBits}
+		if e, ok := opts.Cache.estGet(ek); ok {
+			return e
+		}
+		sk := schedKey{model: dpFP, block: bfp}
+		sr, ok := opts.Cache.schedGet(sk)
+		if !ok {
+			sr = s.ScheduleBlock(b)
+			opts.Cache.schedPut(sk, sr)
+		}
+		e := ComposeEstimate(sr, p, detail)
+		opts.Cache.estPut(ek, e)
+		return e
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	res := make([]Estimate, n)
+	if workers <= 1 {
+		s := NewScheduler(p)
+		for i, b := range blocks {
+			res[i] = estimate(s, b)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s := NewScheduler(p)
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					res[i] = estimate(s, blocks[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, b := range blocks {
+		out[b] = res[i]
+	}
+	return out
+}

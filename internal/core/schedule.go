@@ -3,6 +3,14 @@
 // model) and Algorithm 2 (composition of the basic-block delay from the
 // scheduling delay plus statistical cache and branch-misprediction
 // penalties). This is the primary contribution of the paper.
+//
+// The two algorithms are exposed both as one-shot helpers (Schedule,
+// BlockDelay) and as a split, reusable form: a Scheduler carries the
+// per-PUM operation table and scratch state across blocks, ScheduleBlock
+// produces the statistics-independent SchedResult of Algorithm 1, and
+// ComposeEstimate applies Algorithm 2's statistical penalties on top. The
+// split is what makes schedule results cacheable across retargets of the
+// statistical models (see Cache and EstimateBlocksWith).
 package core
 
 import (
@@ -22,12 +30,24 @@ type opState struct {
 	height    int // list-scheduling priority (critical path length)
 }
 
-// scheduler is the Algorithm 1 simulation state.
-type scheduler struct {
-	p     *pum.PUM
-	dfg   *cdfg.DFG
-	ops   []opState
-	fuUse map[string]int
+// Scheduler is a reusable Algorithm 1 engine bound to one PUM. It resolves
+// the per-class operation info out of the PUM's mapping table once at
+// construction and reuses its simulation scratch state (op array, FU
+// usage, stage occupancy) across blocks, so scheduling a block performs no
+// map lookups and amortizes allocations. A Scheduler is not safe for
+// concurrent use; give each worker its own (they are cheap).
+type Scheduler struct {
+	p *pum.PUM
+	// classInfo caches the operation mapping row per operation class, so
+	// the per-instruction lookup is an array index instead of a map access
+	// plus a fresh OpInfo copy. Unmapped classes keep the zero OpInfo,
+	// matching the zero value a map lookup would have produced.
+	classInfo [cdfg.ClassIO + 1]pum.OpInfo
+
+	dfg     *cdfg.DFG
+	ops     []opState
+	fuUse   map[string]int
+	candBuf []int
 	// stageOcc[pl][stage] is the number of ops currently in that stage of
 	// that pipeline; used to enforce in-order single-file flow.
 	stageOcc [][]int
@@ -36,33 +56,37 @@ type scheduler struct {
 	doneCount   int
 }
 
-// Schedule computes the optimistic scheduling delay (in PE cycles) of a
-// basic block's DFG on the PUM, assuming 100% cache hits and no branch
-// misprediction — Algorithm 1 of the paper. The simulation is guaranteed to
-// terminate because the DFG is acyclic.
-func Schedule(d *cdfg.DFG, p *pum.PUM) int {
-	n := len(d.Block.Instrs)
-	if n == 0 {
-		return 0
-	}
-	s := &scheduler{
-		p:     p,
-		dfg:   d,
-		ops:   make([]opState, n),
-		fuUse: make(map[string]int),
-	}
-	for i := range s.ops {
-		cls := cdfg.OpClass(d.Block.Instrs[i].Op)
-		info := p.Ops[cls]
-		s.ops[i] = opState{idx: i, info: &info, pipeline: -1, stage: -1}
-	}
-	if p.Policy == pum.PolicyList {
-		s.computeHeights()
+// NewScheduler builds a reusable scheduler for the PUM.
+func NewScheduler(p *pum.PUM) *Scheduler {
+	s := &Scheduler{p: p, fuUse: make(map[string]int)}
+	for cls, info := range p.Ops {
+		if int(cls) < len(s.classInfo) {
+			s.classInfo[cls] = info
+		}
 	}
 	s.stageOcc = make([][]int, len(p.Pipelines))
 	for pl := range p.Pipelines {
 		s.stageOcc[pl] = make([]int, len(p.Pipelines[pl].Stages))
 	}
+	return s
+}
+
+// Schedule computes the optimistic scheduling delay (in PE cycles) of a
+// basic block's DFG on the PUM, assuming 100% cache hits and no branch
+// misprediction — Algorithm 1 of the paper. The simulation is guaranteed to
+// terminate because the DFG is acyclic.
+func Schedule(d *cdfg.DFG, p *pum.PUM) int {
+	return NewScheduler(p).Schedule(d)
+}
+
+// Schedule runs Algorithm 1 on one block's DFG, reusing the scheduler's
+// scratch state.
+func (s *Scheduler) Schedule(d *cdfg.DFG) int {
+	n := len(d.Block.Instrs)
+	if n == 0 {
+		return 0
+	}
+	s.reset(d, n)
 
 	delay := 0
 	for s.doneCount < n {
@@ -77,10 +101,36 @@ func Schedule(d *cdfg.DFG, p *pum.PUM) int {
 	return delay
 }
 
+// reset prepares the scratch state for a fresh block of n instructions.
+func (s *Scheduler) reset(d *cdfg.DFG, n int) {
+	s.dfg = d
+	if cap(s.ops) < n {
+		s.ops = make([]opState, n)
+	} else {
+		s.ops = s.ops[:n]
+	}
+	for i := range s.ops {
+		cls := cdfg.OpClass(d.Block.Instrs[i].Op)
+		s.ops[i] = opState{idx: i, info: &s.classInfo[cls], pipeline: -1, stage: -1}
+	}
+	if s.p.Policy == pum.PolicyList {
+		s.computeHeights()
+	}
+	clear(s.fuUse)
+	for pl := range s.stageOcc {
+		occ := s.stageOcc[pl]
+		for st := range occ {
+			occ[st] = 0
+		}
+	}
+	s.nextInOrder = 0
+	s.doneCount = 0
+}
+
 // computeHeights fills the list-scheduling priority: the length (in execute
 // cycles) of the longest dependency chain from each op to any sink. Deps
 // point backwards, so a reverse index scan is a reverse-topological order.
-func (s *scheduler) computeHeights() {
+func (s *Scheduler) computeHeights() {
 	n := len(s.ops)
 	for i := n - 1; i >= 0; i-- {
 		// Own execution weight: total stage cycles.
@@ -106,7 +156,7 @@ func (s *scheduler) computeHeights() {
 
 // depsCommitted reports whether all data dependencies of op i have
 // committed their results.
-func (s *scheduler) depsCommitted(i int) bool {
+func (s *Scheduler) depsCommitted(i int) bool {
 	for _, j := range s.dfg.Deps[i] {
 		if !s.ops[j].committed {
 			return false
@@ -118,7 +168,7 @@ func (s *scheduler) depsCommitted(i int) bool {
 // stageCapacity returns how many ops may simultaneously occupy a stage of
 // the pipeline. In-order pipelines are single-file (ops never overtake);
 // dataflow-style schedulers are bounded only by functional units.
-func (s *scheduler) stageCapacity(pl int) int {
+func (s *Scheduler) stageCapacity(pl int) int {
 	if s.p.Policy == pum.PolicyInOrder {
 		return s.p.Pipelines[pl].IssueWidth
 	}
@@ -127,7 +177,7 @@ func (s *scheduler) stageCapacity(pl int) int {
 
 // tryEnterStage checks demand and structural constraints for op entering
 // the given stage of its pipeline, and claims resources if possible.
-func (s *scheduler) tryEnterStage(op *opState, pl, stage int) bool {
+func (s *Scheduler) tryEnterStage(op *opState, pl, stage int) bool {
 	if s.stageOcc[pl][stage] >= s.stageCapacity(pl) {
 		return false
 	}
@@ -151,7 +201,7 @@ func (s *scheduler) tryEnterStage(op *opState, pl, stage int) bool {
 }
 
 // leaveStage releases the resources op holds in its current stage.
-func (s *scheduler) leaveStage(op *opState, pl int) {
+func (s *Scheduler) leaveStage(op *opState, pl int) {
 	su := op.info.Stages[op.stage]
 	if su.FU != "" {
 		s.fuUse[su.FU]--
@@ -164,7 +214,7 @@ func (s *scheduler) leaveStage(op *opState, pl int) {
 // (last stage) or try to advance to the next stage, stalling in place on a
 // demand or structural hazard. Stages are processed from the back so that
 // a freed stage can accept the op behind it in the same cycle.
-func (s *scheduler) advClock(pl int) {
+func (s *Scheduler) advClock(pl int) {
 	lastStage := len(s.p.Pipelines[pl].Stages) - 1
 	for stage := lastStage; stage >= 0; stage-- {
 		for i := range s.ops {
@@ -196,7 +246,7 @@ func (s *scheduler) advClock(pl int) {
 
 // tryEnterStageFrom moves op from its current stage into next, releasing
 // the old stage's resources first (and re-claiming them on failure).
-func (s *scheduler) tryEnterStageFrom(op *opState, pl, next int) bool {
+func (s *Scheduler) tryEnterStageFrom(op *opState, pl, next int) bool {
 	oldStage := op.stage
 	s.leaveStage(op, pl)
 	if s.tryEnterStage(op, pl, next) {
@@ -217,7 +267,7 @@ func (s *scheduler) tryEnterStageFrom(op *opState, pl, next int) bool {
 // pipeline, according to the scheduling policy (Algorithm 1's AssignOps).
 // In-order issue stops at the first blocked op (no overtaking); dataflow
 // policies (ASAP, list) skip blocked candidates and try the next.
-func (s *scheduler) assignOps(pl int) {
+func (s *Scheduler) assignOps(pl int) {
 	width := s.p.Pipelines[pl].IssueWidth
 	if s.p.Policy == pum.PolicyInOrder {
 		for issued := 0; issued < width; issued++ {
@@ -246,7 +296,7 @@ func (s *scheduler) assignOps(pl int) {
 }
 
 // nextInOrderCandidate returns the program-order next unissued op, or -1.
-func (s *scheduler) nextInOrderCandidate() int {
+func (s *Scheduler) nextInOrderCandidate() int {
 	for s.nextInOrder < len(s.ops) {
 		op := &s.ops[s.nextInOrder]
 		if op.pipeline >= 0 || op.done {
@@ -260,15 +310,17 @@ func (s *scheduler) nextInOrderCandidate() int {
 
 // orderedCandidates returns the issuable unissued ops in policy priority
 // order: readiness FIFO for ASAP, descending critical-path height (ties by
-// program order) for list scheduling.
-func (s *scheduler) orderedCandidates() []int {
-	var cands []int
+// program order) for list scheduling. The returned slice aliases the
+// scheduler's scratch buffer and is valid until the next call.
+func (s *Scheduler) orderedCandidates() []int {
+	cands := s.candBuf[:0]
 	for i := range s.ops {
 		op := &s.ops[i]
 		if op.pipeline < 0 && !op.done && s.issuable(i) {
 			cands = append(cands, i)
 		}
 	}
+	s.candBuf = cands
 	if s.p.Policy == pum.PolicyList {
 		// Stable selection sort by height keeps ties in program order
 		// without importing sort for a tiny slice.
@@ -292,7 +344,7 @@ func (s *scheduler) orderedCandidates() []int {
 // issuable applies the demand check at issue time when stage 0 is the
 // demand stage, so dataflow policies do not issue ops whose operands are
 // pending. (For later demand stages the check happens on stage entry.)
-func (s *scheduler) issuable(i int) bool {
+func (s *Scheduler) issuable(i int) bool {
 	op := &s.ops[i]
 	if op.info.Demand == 0 {
 		return s.depsCommitted(i)

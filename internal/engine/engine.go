@@ -1,0 +1,188 @@
+// Package engine reifies the estimation flow as a staged pipeline:
+//
+//	Parse → Check → Lower → Simplify → Annotate → Build/Simulate
+//
+// Each stage is an explicit method consuming and producing a typed
+// artifact (cfront.File, cfront.Unit, cdfg.Program, annotate.Annotated,
+// tlm.Result), so callers can enter and leave the pipeline at any seam.
+// A Pipeline owns a content-addressed schedule/estimate cache (see
+// core.Cache) and a bounded annotation worker pool: constructing one
+// pipeline and pushing a multi-configuration retarget sweep through it
+// computes every Algorithm 1 schedule exactly once — the cheap
+// re-annotation the paper's Table 1 sells ("Anno." column) — while the
+// statistical Algorithm 2 composition is recomputed per configuration.
+//
+// The pipeline is the architectural seam the rest of the system hangs off:
+// internal/experiments drives its sweeps through one Pipeline, the CLIs
+// construct one each, and the public ese package keeps its historical
+// one-shot functions as thin wrappers over a process-wide default
+// pipeline.
+package engine
+
+import (
+	"time"
+
+	"ese/internal/annotate"
+	"ese/internal/cdfg"
+	"ese/internal/cfront"
+	"ese/internal/core"
+	"ese/internal/platform"
+	"ese/internal/pum"
+	"ese/internal/tlm"
+)
+
+// Options configures a Pipeline.
+type Options struct {
+	// Simplify runs compiler-style CFG cleanup (jump threading, block
+	// merging) between Lower and Annotate, growing basic blocks.
+	Simplify bool
+	// Workers bounds the annotation worker pool; zero or negative uses
+	// GOMAXPROCS, 1 annotates serially.
+	Workers int
+	// NoCache disables schedule/estimate memoization.
+	NoCache bool
+	// Detail selects the PUM sub-models Annotate applies; nil means
+	// core.FullDetail (the paper's full Algorithm 2). AnnotateDetail
+	// overrides it per call.
+	Detail *core.Detail
+}
+
+// Pipeline is a staged estimation flow with a shared schedule/estimate
+// cache. Construct one per sweep (or one per process) and reuse it: the
+// cache is keyed on content fingerprints, so recompiling the same source
+// or retargeting the statistical models still hits. Safe for concurrent
+// use by multiple goroutines.
+type Pipeline struct {
+	opts   Options
+	detail core.Detail
+	cache  *core.Cache
+}
+
+// New constructs a pipeline with the given options.
+func New(opts Options) *Pipeline {
+	pl := &Pipeline{opts: opts, detail: core.FullDetail}
+	if opts.Detail != nil {
+		pl.detail = *opts.Detail
+	}
+	if !opts.NoCache {
+		pl.cache = core.NewCache()
+	}
+	return pl
+}
+
+// Detail returns the detail level Annotate applies.
+func (pl *Pipeline) Detail() core.Detail { return pl.detail }
+
+// Stats returns the cache hit/miss counters accumulated so far (zero
+// counters when the cache is disabled).
+func (pl *Pipeline) Stats() core.CacheStats {
+	if pl.cache == nil {
+		return core.CacheStats{}
+	}
+	return pl.cache.Stats()
+}
+
+// estOpts bundles the pipeline's worker bound and cache for the core
+// estimator.
+func (pl *Pipeline) estOpts() core.EstOptions {
+	return core.EstOptions{Workers: pl.opts.Workers, Cache: pl.cache}
+}
+
+// ---------------------------------------------------------------- Front end
+
+// Parse runs the lexing/parsing stage on one C-subset source.
+func (pl *Pipeline) Parse(name, src string) (*cfront.File, error) {
+	return cfront.Parse(name, src)
+}
+
+// Check runs semantic analysis on a parsed file.
+func (pl *Pipeline) Check(f *cfront.File) (*cfront.Unit, error) {
+	return cfront.Check(f)
+}
+
+// Lower translates a checked unit into CDFG form.
+func (pl *Pipeline) Lower(u *cfront.Unit) (*cdfg.Program, error) {
+	return cdfg.Lower(u)
+}
+
+// Simplify runs the CFG cleanup stage in place and returns the program.
+func (pl *Pipeline) Simplify(prog *cdfg.Program) *cdfg.Program {
+	cdfg.SimplifyProgram(prog)
+	return prog
+}
+
+// Compile chains Parse, Check, Lower and (when configured) Simplify.
+func (pl *Pipeline) Compile(name, src string) (*cdfg.Program, error) {
+	f, err := pl.Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	u, err := pl.Check(f)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := pl.Lower(u)
+	if err != nil {
+		return nil, err
+	}
+	if pl.opts.Simplify {
+		pl.Simplify(prog)
+	}
+	return prog, nil
+}
+
+// ---------------------------------------------------------------- Annotate
+
+// Annotate estimates every basic block of the program against the PE
+// model at the pipeline's detail level, through the worker pool and the
+// schedule/estimate cache.
+func (pl *Pipeline) Annotate(prog *cdfg.Program, p *pum.PUM) *annotate.Annotated {
+	return pl.AnnotateDetail(prog, p, pl.detail)
+}
+
+// AnnotateDetail is Annotate with an explicit detail level (used by the
+// PUM-detail ablation).
+func (pl *Pipeline) AnnotateDetail(prog *cdfg.Program, p *pum.PUM, detail core.Detail) *annotate.Annotated {
+	return annotate.AnnotateWith(prog, p, detail, pl.estOpts())
+}
+
+// ------------------------------------------------------------- Build / Sim
+
+// Delays annotates a design's program once per PE through the cache and
+// returns the per-PE delay maps the timed TLM consumes, plus the
+// wall-clock annotation time (the paper's "Anno." column).
+func (pl *Pipeline) Delays(d *platform.Design, detail core.Detail) (map[string]map[*cdfg.Block]float64, time.Duration) {
+	start := time.Now()
+	out := make(map[string]map[*cdfg.Block]float64, len(d.PEs))
+	for _, pe := range d.PEs {
+		out[pe.Name] = pl.AnnotateDetail(d.Program, pe.PUM, detail).Delays()
+	}
+	return out, time.Since(start)
+}
+
+// Simulate runs the TLM of a design. For timed runs the annotation phase
+// goes through the pipeline's cache and worker pool, so a sweep that
+// simulates several configurations of one program reuses every schedule
+// after the first.
+func (pl *Pipeline) Simulate(d *platform.Design, opts tlm.Options) (*tlm.Result, error) {
+	if opts.Timed && opts.Delays == nil {
+		opts.Delays, opts.AnnoTime = pl.Delays(d, opts.Detail)
+	}
+	return tlm.Run(d, opts)
+}
+
+// RunFunctional executes the untimed TLM of a design.
+func (pl *Pipeline) RunFunctional(d *platform.Design) (*tlm.Result, error) {
+	return pl.Simulate(d, tlm.Options{Timed: false})
+}
+
+// RunTimed executes the timed TLM of a design with the pipeline's detail
+// level and transaction-boundary waits, the configuration the paper
+// evaluates.
+func (pl *Pipeline) RunTimed(d *platform.Design) (*tlm.Result, error) {
+	return pl.Simulate(d, tlm.Options{
+		Timed:    true,
+		WaitMode: tlm.WaitAtTransactions,
+		Detail:   pl.detail,
+	})
+}

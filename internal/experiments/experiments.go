@@ -18,6 +18,7 @@ import (
 
 	"ese/internal/apps"
 	"ese/internal/core"
+	"ese/internal/engine"
 	"ese/internal/iss"
 	"ese/internal/pum"
 	"ese/internal/rtl"
@@ -25,11 +26,16 @@ import (
 )
 
 // Setup bundles what every experiment needs: the calibrated processor
-// model and the workload configurations.
+// model, the workload configurations, and one shared estimation pipeline.
+// Every timed-TLM run of every experiment goes through the pipeline, so
+// the cache-configuration sweeps of Tables 2–3 (and the ablations) compute
+// each Algorithm 1 schedule once and reuse it across configurations —
+// Pipe.Stats() exposes the hit counters.
 type Setup struct {
 	Eval  apps.MP3Config
 	Train apps.MP3Config
-	MB    *pum.PUM // calibrated MicroBlaze-like model
+	MB    *pum.PUM         // calibrated MicroBlaze-like model
+	Pipe  *engine.Pipeline // shared staged pipeline (schedule/estimate cache)
 }
 
 // NewSetup calibrates the MicroBlaze model on the training workload.
@@ -42,7 +48,7 @@ func NewSetup(eval, train apps.MP3Config) (*Setup, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Setup{Eval: eval, Train: train, MB: mb}, nil
+	return &Setup{Eval: eval, Train: train, MB: mb, Pipe: engine.New(engine.Options{})}, nil
 }
 
 // DefaultSetup uses the standard evaluation and training workloads.
@@ -93,13 +99,13 @@ func RunTable1(s *Setup) (*Table1, error) {
 		}
 		row := Table1Row{Design: design}
 
-		fun, err := tlm.RunFunctional(d, 0)
+		fun, err := s.Pipe.RunFunctional(d)
 		if err != nil {
 			return nil, err
 		}
 		row.TLMFunc = fun.Wall
 
-		timed, err := tlm.RunTimed(d, 0)
+		timed, err := s.Pipe.RunTimed(d)
 		if err != nil {
 			return nil, err
 		}
@@ -225,7 +231,7 @@ func RunTable2(s *Setup) (*Table2, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := tlm.RunTimed(d, 0)
+		res, err := s.Pipe.RunTimed(d)
 		if err != nil {
 			return nil, err
 		}
@@ -298,7 +304,7 @@ func RunTable3(s *Setup) (*Table3, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := tlm.RunTimed(d, 0)
+			res, err := s.Pipe.RunTimed(d)
 			if err != nil {
 				return nil, err
 			}
@@ -399,7 +405,7 @@ func RunSensitivity(s *Setup, cc pum.CacheCfg, perturbs []float64) (*Sensitivity
 		if err != nil {
 			return nil, err
 		}
-		res, err := tlm.RunTimed(d, 0)
+		res, err := s.Pipe.RunTimed(d)
 		if err != nil {
 			return nil, err
 		}
@@ -454,7 +460,7 @@ func RunGranularity(s *Setup, design string) (*Granularity, error) {
 	if err != nil {
 		return nil, err
 	}
-	tx, err := tlm.Run(d, tlm.Options{Timed: true, WaitMode: tlm.WaitAtTransactions, Detail: core.FullDetail})
+	tx, err := s.Pipe.Simulate(d, tlm.Options{Timed: true, WaitMode: tlm.WaitAtTransactions, Detail: core.FullDetail})
 	if err != nil {
 		return nil, err
 	}
@@ -462,7 +468,7 @@ func RunGranularity(s *Setup, design string) (*Granularity, error) {
 	if err != nil {
 		return nil, err
 	}
-	bb, err := tlm.Run(d2, tlm.Options{Timed: true, WaitMode: tlm.WaitPerBlock, Detail: core.FullDetail})
+	bb, err := s.Pipe.Simulate(d2, tlm.Options{Timed: true, WaitMode: tlm.WaitPerBlock, Detail: core.FullDetail})
 	if err != nil {
 		return nil, err
 	}
@@ -540,7 +546,7 @@ func RunPUMDetail(s *Setup, cc pum.CacheCfg) (*PUMDetail, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := tlm.Run(d, tlm.Options{Timed: true, WaitMode: tlm.WaitAtTransactions, Detail: lv.Detail})
+		res, err := s.Pipe.Simulate(d, tlm.Options{Timed: true, WaitMode: tlm.WaitAtTransactions, Detail: lv.Detail})
 		if err != nil {
 			return nil, err
 		}
@@ -573,11 +579,11 @@ func CheckFunctionalEquivalence(s *Setup) error {
 		if err != nil {
 			return err
 		}
-		fun, err := tlm.RunFunctional(d, 0)
+		fun, err := s.Pipe.RunFunctional(d)
 		if err != nil {
 			return err
 		}
-		timed, err := tlm.RunTimed(d, 0)
+		timed, err := s.Pipe.RunTimed(d)
 		if err != nil {
 			return err
 		}

@@ -98,7 +98,7 @@ func RunRTOSStudy(s *Setup) (*RTOSStudy, error) {
 	if err != nil {
 		return nil, err
 	}
-	refRes, err := tlm.RunTimed(ref, 0)
+	refRes, err := s.Pipe.RunTimed(ref)
 	if err != nil {
 		return nil, err
 	}
@@ -119,7 +119,7 @@ func RunRTOSStudy(s *Setup) (*RTOSStudy, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := tlm.RunTimed(d, 0)
+		res, err := s.Pipe.RunTimed(d)
 		if err != nil {
 			return nil, err
 		}
@@ -206,7 +206,7 @@ func RunOverlapStudy(s *Setup) (*OverlapStudy, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := tlm.Run(d, tlm.Options{
+			res, err := s.Pipe.Simulate(d, tlm.Options{
 				Timed:    true,
 				WaitMode: tlm.WaitAtTransactions,
 				Detail:   variant.detail,
@@ -288,14 +288,14 @@ func RunBlockSizeStudy(s *Setup) (*BlockSizeStudy, error) {
 		}
 		row.Board = board.PEs["mb"].Cycles
 
-		res, err := tlm.RunTimed(d, 0)
+		res, err := s.Pipe.RunTimed(d)
 		if err != nil {
 			return nil, err
 		}
 		row.TLM = res.CyclesByPE["mb"]
 		row.Err = pct(float64(row.TLM), float64(row.Board))
 
-		resC, err := tlm.Run(d, tlm.Options{
+		resC, err := s.Pipe.Simulate(d, tlm.Options{
 			Timed: true, WaitMode: tlm.WaitAtTransactions, Detail: core.OverlapDetail,
 		})
 		if err != nil {

@@ -1,0 +1,114 @@
+package pum
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+
+	"ese/internal/cdfg"
+)
+
+// Fingerprint is a canonical content hash of one PUM sub-model group, used
+// as a content-addressed cache key by the estimation pipeline.
+type Fingerprint [sha256.Size]byte
+
+// String returns a short hex form for logs and debugging.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:8]) }
+
+// fpw wraps a sha256 state with canonical little-endian writers.
+type fpw struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+func newFPW() *fpw { return &fpw{h: sha256.New()} }
+
+func (w *fpw) int(v int64) {
+	binary.LittleEndian.PutUint64(w.buf[:], uint64(v))
+	w.h.Write(w.buf[:])
+}
+
+func (w *fpw) float(v float64) { w.int(int64(math.Float64bits(v))) }
+
+func (w *fpw) str(s string) {
+	w.int(int64(len(s)))
+	w.h.Write([]byte(s))
+}
+
+func (w *fpw) bool(b bool) {
+	if b {
+		w.int(1)
+	} else {
+		w.int(0)
+	}
+}
+
+func (w *fpw) sum() Fingerprint {
+	var f Fingerprint
+	w.h.Sum(f[:0])
+	return f
+}
+
+// DatapathFingerprint hashes the sub-models Algorithm 1 consumes: the
+// scheduling policy, the issue pipelines, the functional units, and the
+// operation mapping table. Two PUMs with equal datapath fingerprints
+// schedule every block identically, whatever their statistical sub-models
+// say — so the fingerprint is stable across WithCache retargets and
+// calibration, which is what keys the schedule cache.
+func (p *PUM) DatapathFingerprint() Fingerprint {
+	w := newFPW()
+	w.int(int64(p.Policy))
+	w.int(int64(len(p.Pipelines)))
+	for _, pl := range p.Pipelines {
+		w.int(int64(len(pl.Stages)))
+		w.int(int64(pl.IssueWidth))
+	}
+	w.int(int64(len(p.FUs)))
+	for _, fu := range p.FUs {
+		w.str(fu.ID)
+		w.int(int64(fu.Quantity))
+	}
+	// Iterate the op table in class order so the hash is independent of
+	// map iteration order.
+	for cls := cdfg.Class(0); cls <= cdfg.ClassIO; cls++ {
+		info, ok := p.Ops[cls]
+		if !ok {
+			w.int(-1)
+			continue
+		}
+		w.int(int64(cls))
+		w.int(int64(info.Demand))
+		w.int(int64(info.Commit))
+		w.int(int64(len(info.Stages)))
+		for _, su := range info.Stages {
+			w.str(su.FU)
+			w.int(int64(su.Cycles))
+		}
+	}
+	return w.sum()
+}
+
+// StatFingerprint hashes the statistical sub-models Algorithm 2 layers on
+// top of the schedule: the branch delay model, the currently selected
+// memory statistics, and the pipelined flag that gates branch penalties.
+// Retargeting the cache configuration or recalibrating changes this
+// fingerprint but not the datapath one.
+func (p *PUM) StatFingerprint() Fingerprint {
+	w := newFPW()
+	w.bool(p.Pipelined)
+	w.float(p.Branch.MissRate)
+	w.float(p.Branch.Penalty)
+	w.bool(p.Mem.HasICache)
+	w.bool(p.Mem.HasDCache)
+	w.float(p.Mem.ExtLatency)
+	st := p.Mem.Current
+	w.float(st.IHitRate)
+	w.float(st.DHitRate)
+	w.float(st.IHitDelay)
+	w.float(st.DHitDelay)
+	w.float(st.IMissPenalty)
+	w.float(st.DMissPenalty)
+	return w.sum()
+}

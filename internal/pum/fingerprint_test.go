@@ -1,0 +1,72 @@
+package pum
+
+import "testing"
+
+// TestDatapathFingerprintStableUnderRetarget: WithCache swaps the
+// statistical memory model but not the datapath, so the datapath hash —
+// the Algorithm 1 cache key component — must not move, while the
+// statistical hash must.
+func TestDatapathFingerprintStableUnderRetarget(t *testing.T) {
+	base := MicroBlaze()
+	baseDP, baseST := base.DatapathFingerprint(), base.StatFingerprint()
+	for _, cc := range StandardCacheConfigs {
+		m, err := base.WithCache(cc)
+		if err != nil {
+			t.Fatalf("WithCache(%d/%d): %v", cc.ISize, cc.DSize, err)
+		}
+		if m.DatapathFingerprint() != baseDP {
+			t.Errorf("cache %d/%d: datapath fingerprint changed", cc.ISize, cc.DSize)
+		}
+		if cc.ISize == 0 && cc.DSize == 0 {
+			continue
+		}
+		if m.StatFingerprint() == baseST {
+			t.Errorf("cache %d/%d: statistical fingerprint did not change", cc.ISize, cc.DSize)
+		}
+	}
+}
+
+// TestFingerprintsDifferAcrossModels: distinct datapaths hash apart.
+func TestFingerprintsDifferAcrossModels(t *testing.T) {
+	models := []*PUM{MicroBlaze(), DualIssue(), CustomHW("hw", 100_000_000)}
+	for i, a := range models {
+		for _, b := range models[i+1:] {
+			if a.DatapathFingerprint() == b.DatapathFingerprint() {
+				t.Errorf("%s and %s share a datapath fingerprint", a.Name, b.Name)
+			}
+		}
+	}
+}
+
+// TestFingerprintDeterministic: repeated hashing of one model is stable
+// (the op table is a map; iteration order must not leak into the hash).
+func TestFingerprintDeterministic(t *testing.T) {
+	m := MicroBlaze()
+	dp, st := m.DatapathFingerprint(), m.StatFingerprint()
+	for i := 0; i < 10; i++ {
+		if m.DatapathFingerprint() != dp {
+			t.Fatal("datapath fingerprint unstable")
+		}
+		if m.StatFingerprint() != st {
+			t.Fatal("statistical fingerprint unstable")
+		}
+	}
+}
+
+// TestFingerprintSeesStructuralEdits: editing an op mapping or an FU
+// quantity must change the datapath hash.
+func TestFingerprintSeesStructuralEdits(t *testing.T) {
+	a := MicroBlaze()
+	b := MicroBlaze()
+	if a.DatapathFingerprint() != b.DatapathFingerprint() {
+		t.Fatal("two fresh MicroBlaze models hash apart")
+	}
+	for cls, oi := range b.Ops {
+		oi.Demand++
+		b.Ops[cls] = oi
+		break
+	}
+	if a.DatapathFingerprint() == b.DatapathFingerprint() {
+		t.Error("editing an op demand did not change the datapath fingerprint")
+	}
+}

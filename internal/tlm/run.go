@@ -36,6 +36,13 @@ type Options struct {
 	StepLimit uint64 // per-process dynamic instruction limit (0 = none)
 	// Detail selects the PUM sub-models used during annotation.
 	Detail core.Detail
+	// Delays, when non-nil, supplies precomputed per-PE delay maps (keyed
+	// by PE name) and skips the annotation phase entirely — the staged
+	// pipeline of internal/engine uses this to feed memoized annotations
+	// into the simulation stage. AnnoTime then reports the caller's
+	// annotation cost in the result.
+	Delays   map[string]map[*cdfg.Block]float64
+	AnnoTime time.Duration
 	// Trace, when set, records per-process busy intervals and bus activity
 	// as a VCD waveform.
 	Trace *trace.VCD
@@ -93,15 +100,27 @@ func Run(d *platform.Design, opts Options) (*Result, error) {
 		SwitchesByPE: make(map[string]uint64),
 	}
 
-	// Annotation phase (timed models only): one delay map per PE.
+	// Annotation phase (timed models only): one delay map per PE, either
+	// precomputed by the caller (pipeline path) or computed here.
 	delays := make(map[*platform.PE]map[*cdfg.Block]float64, len(d.PEs))
 	if opts.Timed {
-		annoStart := time.Now()
-		for _, pe := range d.PEs {
-			a := annotate.Annotate(d.Program, pe.PUM, opts.Detail)
-			delays[pe] = a.Delays()
+		if opts.Delays != nil {
+			for _, pe := range d.PEs {
+				dm, ok := opts.Delays[pe.Name]
+				if !ok {
+					return nil, fmt.Errorf("tlm: %s: no precomputed delays for PE %q", d.Name, pe.Name)
+				}
+				delays[pe] = dm
+			}
+			res.AnnoTime = opts.AnnoTime
+		} else {
+			annoStart := time.Now()
+			for _, pe := range d.PEs {
+				a := annotate.Annotate(d.Program, pe.PUM, opts.Detail)
+				delays[pe] = a.Delays()
+			}
+			res.AnnoTime = time.Since(annoStart)
 		}
-		res.AnnoTime = time.Since(annoStart)
 	}
 
 	k := sim.NewKernel()
