@@ -6,15 +6,20 @@
 // Usage:
 //
 //	esebench [-frames N] [-table 1|2|3] [-ablation sensitivity|granularity|pumdetail] [-all]
+//
+// Exit codes: 0 success, 1 runtime failure (including timeout), 2 usage or
+// input error. Diagnostics go to stderr, results to stdout.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"os"
+	"time"
 
 	"ese/internal/apps"
+	"ese/internal/cli"
+	"ese/internal/engine"
 	"ese/internal/experiments"
 	"ese/internal/pum"
 )
@@ -25,25 +30,24 @@ func main() {
 	ablation := flag.String("ablation", "", "run one ablation: sensitivity, granularity, pumdetail, rtos, overlap")
 	all := flag.Bool("all", false, "run every table and ablation")
 	jsonOut := flag.Bool("json", false, "emit results as JSON lines instead of tables")
+	timeout := flag.Duration("timeout", 0, "wall-clock watchdog per pipeline run (0 = none)")
 	flag.Parse()
 
-	if err := run(*frames, *table, *ablation, *all, *jsonOut); err != nil {
-		fmt.Fprintln(os.Stderr, "esebench:", err)
-		os.Exit(1)
-	}
+	cli.Fail("esebench", run(*frames, *table, *ablation, *all, *jsonOut, *timeout))
 }
 
-func run(frames, table int, ablation string, all, jsonOut bool) error {
+func run(frames, table int, ablation string, all, jsonOut bool, timeout time.Duration) error {
 	eval := apps.MP3Config{Frames: frames, Seed: apps.DefaultMP3.Seed}
 	if !jsonOut {
 		fmt.Printf("workload: MP3-like decode, %d frames (eval seed 0x%X, train seed 0x%X)\n",
 			frames, eval.Seed, apps.TrainMP3.Seed)
 		fmt.Println("calibrating statistical PUM models on the training workload...")
 	}
-	s, err := experiments.NewSetup(eval, apps.TrainMP3)
+	s, err := experiments.NewSetupWith(eval, apps.TrainMP3, engine.Options{Timeout: timeout})
 	if err != nil {
 		return err
 	}
+	defer cli.PrintDiags("esebench", s.Pipe.Diagnostics())
 	emit := func(v any) {
 		if jsonOut {
 			data, err := json.Marshal(v)
@@ -132,6 +136,10 @@ func run(frames, table int, ablation string, all, jsonOut bool) error {
 		cs := s.Pipe.Stats()
 		fmt.Printf("\nestimation cache: %d schedule hits / %d misses, %d estimate hits / %d misses\n",
 			cs.SchedHits, cs.SchedMisses, cs.EstHits, cs.EstMisses)
+		if cs.DegradedBlocks > 0 {
+			fmt.Printf("degraded estimation: %d ops in %d blocks used fallback latency (unmapped op classes)\n",
+				cs.UnmappedOps, cs.DegradedBlocks)
+		}
 	}
 	return nil
 }

@@ -14,15 +14,27 @@
 //	-emit-go              print the generated timed Go process
 //	-blocks               print the per-block estimate table
 //	-dump                 print the CDFG IR
+//	-strict               fail (exit 1) when the PE model does not map an
+//	                      op class the program uses
+//	-fallback N           cycles charged to unmapped op classes when not
+//	                      strict (graceful degradation)
+//	-timeout D            wall-clock watchdog for the whole run
+//
+// Exit codes: 0 success, 1 runtime failure (including timeout), 2 usage or
+// input error. Diagnostics go to stderr, results to stdout.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"ese"
 	"ese/internal/cdfg"
+	"ese/internal/cli"
+	"ese/internal/core"
 	"ese/internal/iss"
 )
 
@@ -37,16 +49,16 @@ func main() {
 	dotCFG := flag.String("dot-cfg", "", "print the dot CFG of the named function")
 	dotDFG := flag.String("dot-dfg", "", "print the dot DFGs of the named function's blocks")
 	disasm := flag.Bool("disasm", false, "print the generated virtual-ISA assembly")
+	strict := flag.Bool("strict", false, "reject PE models that do not map every op class used")
+	fallback := flag.Int("fallback", core.DefaultFallbackCycles, "fallback cycles for unmapped op classes")
+	timeout := flag.Duration("timeout", 0, "wall-clock watchdog for the run (0 = none)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: eseest [flags] app.c")
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(cli.ExitUsage)
 	}
-	if err := run(flag.Arg(0), *pumFlag, *icache, *dcache, *emitC, *emitGo, *blocks, *dump, *dotCFG, *dotDFG, *disasm); err != nil {
-		fmt.Fprintln(os.Stderr, "eseest:", err)
-		os.Exit(1)
-	}
+	cli.Fail("eseest", run(flag.Arg(0), *pumFlag, *icache, *dcache, *emitC, *emitGo, *blocks, *dump, *dotCFG, *dotDFG, *disasm, *strict, *fallback, *timeout))
 }
 
 func loadPUM(name string) (*ese.PUM, error) {
@@ -60,17 +72,26 @@ func loadPUM(name string) (*ese.PUM, error) {
 	}
 	data, err := os.ReadFile(name)
 	if err != nil {
-		return nil, err
+		return nil, cli.Input(err)
 	}
-	return ese.LoadPUM(data)
+	p, err := ese.LoadPUM(data)
+	if err != nil {
+		return nil, cli.Input(err)
+	}
+	return p, nil
 }
 
-func run(file, pumName string, icache, dcache int, emitC, emitGo, blocks, dump bool, dotCFG, dotDFG string, disasm bool) error {
+func run(file, pumName string, icache, dcache int, emitC, emitGo, blocks, dump bool, dotCFG, dotDFG string, disasm bool, strict bool, fallback int, timeout time.Duration) error {
 	src, err := os.ReadFile(file)
 	if err != nil {
-		return err
+		return cli.Input(err)
 	}
-	pl := ese.NewPipeline(ese.PipelineOptions{})
+	pl := ese.NewPipeline(ese.PipelineOptions{
+		Strict:         strict,
+		FallbackCycles: fallback,
+		Timeout:        timeout,
+	})
+	defer cli.PrintDiags("eseest", pl.Diagnostics())
 	prog, err := pl.Compile(file, string(src))
 	if err != nil {
 		return err
@@ -115,7 +136,10 @@ func run(file, pumName string, icache, dcache int, emitC, emitGo, blocks, dump b
 			return err
 		}
 	}
-	a := pl.Annotate(prog, model)
+	a, err := pl.AnnotateCtx(context.Background(), prog, model)
+	if err != nil {
+		return err
+	}
 	switch {
 	case emitC:
 		fmt.Print(a.EmitTimedC())
@@ -126,8 +150,12 @@ func run(file, pumName string, icache, dcache int, emitC, emitGo, blocks, dump b
 			fmt.Printf("func %s\n", fn.Name)
 			for _, b := range fn.Blocks {
 				e := a.Est[b]
-				fmt.Printf("  bb%-3d ops=%-4d operands=%-4d sched=%-5d br=%-6.2f imem=%-8.2f dmem=%-8.2f total=%d\n",
-					b.ID, e.Ops, e.Operands, e.Sched, e.BranchPen, e.IDelay, e.DDelay, int64(e.Total))
+				degraded := ""
+				if e.Degraded() {
+					degraded = fmt.Sprintf("  DEGRADED(%d ops)", e.Unmapped)
+				}
+				fmt.Printf("  bb%-3d ops=%-4d operands=%-4d sched=%-5d br=%-6.2f imem=%-8.2f dmem=%-8.2f total=%d%s\n",
+					b.ID, e.Ops, e.Operands, e.Sched, e.BranchPen, e.IDelay, e.DDelay, int64(e.Total), degraded)
 			}
 		}
 	default:

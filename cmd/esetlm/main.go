@@ -12,6 +12,10 @@
 //	-calibrate                  calibrate the PUM on the training workload
 //	-graph                      print the process/channel structure (Fig. 6)
 //	-gen                        emit the standalone Go TLM source and exit
+//	-timeout D                  wall-clock watchdog for the simulation
+//
+// Exit codes: 0 success, 1 runtime failure (including timeout), 2 usage or
+// input error. Diagnostics go to stderr, results to stdout.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"time"
 
 	"ese"
+	"ese/internal/cli"
 	"ese/internal/core"
 	"ese/internal/tlm"
 	"ese/internal/trace"
@@ -36,15 +41,13 @@ func main() {
 	graph := flag.Bool("graph", false, "print the process graph and exit")
 	gen := flag.Bool("gen", false, "emit the standalone TLM source and exit")
 	vcd := flag.String("vcd", "", "write a VCD activity waveform to this file (timed engine)")
+	timeout := flag.Duration("timeout", 0, "wall-clock watchdog for the simulation (0 = none)")
 	flag.Parse()
 
-	if err := run(*design, *frames, *icache, *dcache, *engine, *calibrate, *graph, *gen, *vcd); err != nil {
-		fmt.Fprintln(os.Stderr, "esetlm:", err)
-		os.Exit(1)
-	}
+	cli.Fail("esetlm", run(*design, *frames, *icache, *dcache, *engine, *calibrate, *graph, *gen, *vcd, *timeout))
 }
 
-func run(design string, frames, icache, dcache int, engine string, calibrate, graph, gen bool, vcdPath string) error {
+func run(design string, frames, icache, dcache int, engine string, calibrate, graph, gen bool, vcdPath string, timeout time.Duration) error {
 	cfg := ese.MP3Config{Frames: frames, Seed: 0xC0FFEE}
 	mb := ese.MicroBlazePUM()
 	if calibrate {
@@ -63,7 +66,7 @@ func run(design string, frames, icache, dcache int, engine string, calibrate, gr
 	}
 	d, err := ese.MP3Design(design, cfg, mb, ese.CacheCfg{ISize: icache, DSize: dcache})
 	if err != nil {
-		return err
+		return cli.Input(err)
 	}
 	if graph {
 		fmt.Print(d.Graph())
@@ -79,13 +82,16 @@ func run(design string, frames, icache, dcache int, engine string, calibrate, gr
 	}
 	switch engine {
 	case "functional":
-		res, err := ese.RunFunctionalTLM(d)
+		pl := ese.NewPipeline(ese.PipelineOptions{Timeout: timeout})
+		defer cli.PrintDiags("esetlm", pl.Diagnostics())
+		res, err := pl.RunFunctional(d)
 		if err != nil {
 			return err
 		}
 		printTLM(res, d)
 	case "timed":
-		pl := ese.NewPipeline(ese.PipelineOptions{})
+		pl := ese.NewPipeline(ese.PipelineOptions{Timeout: timeout})
+		defer cli.PrintDiags("esetlm", pl.Diagnostics())
 		var res *ese.TLMResult
 		var err error
 		if vcdPath != "" {
@@ -128,7 +134,7 @@ func run(design string, frames, icache, dcache int, engine string, calibrate, gr
 			fmt.Println()
 		}
 	default:
-		return fmt.Errorf("unknown engine %q", engine)
+		return cli.Input(fmt.Errorf("unknown engine %q", engine))
 	}
 	return nil
 }

@@ -44,6 +44,7 @@ import (
 	"ese/internal/apps"
 	"ese/internal/cdfg"
 	"ese/internal/core"
+	"ese/internal/diag"
 	"ese/internal/engine"
 	"ese/internal/interp"
 	"ese/internal/iss"
@@ -115,10 +116,29 @@ type (
 	// Pipeline is a staged estimation flow. Reuse one across a retarget
 	// sweep so Algorithm 1 schedules are computed once per block.
 	Pipeline = engine.Pipeline
-	// PipelineOptions configures a Pipeline (workers, cache, detail).
+	// PipelineOptions configures a Pipeline (workers, cache, detail,
+	// strictness, fallback latency, watchdog timeout).
 	PipelineOptions = engine.Options
+	// PipelineStats aggregates cache counters and degradation tallies.
+	PipelineStats = engine.Stats
 	// CacheStats reports schedule/estimate cache hit and miss counters.
 	CacheStats = core.CacheStats
+	// Diagnostic is one structured, stage-tagged pipeline diagnostic.
+	Diagnostic = diag.Diagnostic
+	// Diagnostics is a concurrency-safe diagnostic list (see
+	// Pipeline.Diagnostics).
+	Diagnostics = diag.List
+)
+
+// Typed failure sentinels: a cancelled or deadline-expired run returns an
+// error matching one of these (errors.Is), alongside any partial result.
+var (
+	// ErrCanceled reports that a run was interrupted by context
+	// cancellation.
+	ErrCanceled = diag.ErrCanceled
+	// ErrDeadline reports that a run exceeded its deadline or watchdog
+	// timeout.
+	ErrDeadline = diag.ErrDeadline
 )
 
 // NewPipeline constructs a staged estimation pipeline.

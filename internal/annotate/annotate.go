@@ -8,6 +8,7 @@
 package annotate
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -39,15 +40,50 @@ func Annotate(prog *cdfg.Program, p *pum.PUM, detail core.Detail) *Annotated {
 // and optional schedule/estimate cache (see core.EstOptions). It is the
 // entry point the staged pipeline of internal/engine uses.
 func AnnotateWith(prog *cdfg.Program, p *pum.PUM, detail core.Detail, opts core.EstOptions) *Annotated {
+	opts.Strict = false
+	a, _ := AnnotateCtx(context.Background(), prog, p, detail, opts)
+	return a
+}
+
+// AnnotateCtx is AnnotateWith under a context: cancellation aborts the
+// block fan-out with diag.ErrCanceled/ErrDeadline, and strict estimation
+// options (core.EstOptions.Strict) turn unmapped op classes into errors
+// instead of degraded fallback estimates.
+func AnnotateCtx(ctx context.Context, prog *cdfg.Program, p *pum.PUM, detail core.Detail, opts core.EstOptions) (*Annotated, error) {
 	start := time.Now()
-	est := core.EstimateBlocksWith(prog, p, detail, opts)
+	est, err := core.EstimateBlocksCtx(ctx, prog, p, detail, opts)
+	if err != nil {
+		return nil, err
+	}
 	return &Annotated{
 		Prog:    prog,
 		PUM:     p,
 		Est:     est,
 		Detail:  detail,
 		Elapsed: time.Since(start),
+	}, nil
+}
+
+// DegradedBlocks counts blocks whose estimate used fallback latencies for
+// op classes the PUM does not map (graceful-degradation mode).
+func (a *Annotated) DegradedBlocks() int {
+	n := 0
+	for _, e := range a.Est {
+		if e.Degraded() {
+			n++
+		}
 	}
+	return n
+}
+
+// UnmappedOps sums the per-block counts of operations estimated with
+// fallback latency because their class is missing from the PUM.
+func (a *Annotated) UnmappedOps() int {
+	n := 0
+	for _, e := range a.Est {
+		n += e.Unmapped
+	}
+	return n
 }
 
 // Delays returns the per-block delay map in cycles.
@@ -486,15 +522,20 @@ func prefixComma(parts []string) string {
 // Summary renders a human-readable annotation report sorted by function.
 func (a *Annotated) Summary() string {
 	type row struct {
-		name   string
-		blocks int
-		delay  float64
+		name     string
+		blocks   int
+		degraded int
+		delay    float64
 	}
 	var rows []row
 	for _, fn := range a.Prog.Funcs {
 		r := row{name: fn.Name, blocks: len(fn.Blocks)}
 		for _, b := range fn.Blocks {
-			r.delay += a.Est[b].Total
+			e := a.Est[b]
+			r.delay += e.Total
+			if e.Degraded() {
+				r.degraded++
+			}
 		}
 		rows = append(rows, r)
 	}
@@ -502,7 +543,15 @@ func (a *Annotated) Summary() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "annotation for PE %q (policy %s)\n", a.PUM.Name, a.PUM.Policy)
 	for _, r := range rows {
-		fmt.Fprintf(&sb, "  %-20s blocks=%-4d static-delay=%.0f\n", r.name, r.blocks, r.delay)
+		fmt.Fprintf(&sb, "  %-20s blocks=%-4d static-delay=%.0f", r.name, r.blocks, r.delay)
+		if r.degraded > 0 {
+			fmt.Fprintf(&sb, " DEGRADED=%d", r.degraded)
+		}
+		sb.WriteString("\n")
+	}
+	if d := a.DegradedBlocks(); d > 0 {
+		fmt.Fprintf(&sb, "  degraded: %d blocks (%d ops) estimated with fallback latency for unmapped op classes\n",
+			d, a.UnmappedOps())
 	}
 	fmt.Fprintf(&sb, "  annotation time: %v\n", a.Elapsed)
 	return sb.String()

@@ -134,7 +134,7 @@ func TestEmittedGoExecutes(t *testing.T) {
 	m := interp.New(a.Prog)
 	var refCycles int64
 	delays := a.Delays()
-	m.OnBlock = func(b *cdfg.Block) { refCycles += int64(delays[b]) }
+	m.OnBlock = func(b *cdfg.Block) error { refCycles += int64(delays[b]); return nil }
 	if err := m.Run("main"); err != nil {
 		t.Fatalf("interp: %v", err)
 	}
@@ -296,7 +296,7 @@ func TestEmittedCExecutes(t *testing.T) {
 	m := interp.New(a.Prog)
 	var refCycles int64
 	delays := a.Delays()
-	m.OnBlock = func(b *cdfg.Block) { refCycles += int64(delays[b]) }
+	m.OnBlock = func(b *cdfg.Block) error { refCycles += int64(delays[b]); return nil }
 	if err := m.Run("main"); err != nil {
 		t.Fatalf("interp: %v", err)
 	}

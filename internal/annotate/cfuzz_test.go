@@ -133,7 +133,7 @@ int main(void) {
 		m.Limit = 10_000_000
 		var refCycles int64
 		delays := a.Delays()
-		m.OnBlock = func(b *cdfg.Block) { refCycles += int64(delays[b]) }
+		m.OnBlock = func(b *cdfg.Block) error { refCycles += int64(delays[b]); return nil }
 		if err := m.Run("main"); err != nil {
 			t.Fatalf("seed %d: interp: %v\n%s", seed, err, src)
 		}

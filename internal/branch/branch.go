@@ -4,6 +4,8 @@
 // to obtain the statistical misprediction ratio of the PUM branch model.
 package branch
 
+import "fmt"
+
 // Predictor predicts conditional branch outcomes by program counter.
 type Predictor interface {
 	// Predict returns the predicted direction for the branch at pc.
@@ -65,17 +67,20 @@ type Bimodal struct {
 	mask     uint32
 }
 
-// NewBimodal creates a predictor with the given table size (power of two).
-func NewBimodal(entries int) *Bimodal {
+// NewBimodal creates a predictor with the given table size. The size must
+// be a positive power of two (the PC hash is a mask); anything else is an
+// error rather than a panic, so a malformed model description cannot kill
+// the process.
+func NewBimodal(entries int) (*Bimodal, error) {
 	if entries <= 0 || entries&(entries-1) != 0 {
-		panic("branch: bimodal entries must be a positive power of two")
+		return nil, fmt.Errorf("branch: bimodal entries must be a positive power of two, got %d", entries)
 	}
 	b := &Bimodal{counters: make([]uint8, entries), mask: uint32(entries - 1)}
 	// Initialize to weakly not-taken.
 	for i := range b.counters {
 		b.counters[i] = 1
 	}
-	return b
+	return b, nil
 }
 
 func (b *Bimodal) idx(pc uint32) uint32 { return (pc >> 2) & b.mask }

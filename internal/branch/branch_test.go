@@ -18,7 +18,7 @@ func TestStaticNotTaken(t *testing.T) {
 }
 
 func TestBimodalLearnsLoop(t *testing.T) {
-	s := &Stats{P: NewBimodal(256)}
+	s := &Stats{P: mustBimodal(t, 256)}
 	// A loop branch taken 99 times then not taken: after warmup the
 	// predictor should be nearly perfect.
 	for rep := 0; rep < 10; rep++ {
@@ -33,7 +33,7 @@ func TestBimodalLearnsLoop(t *testing.T) {
 }
 
 func TestBimodalSaturation(t *testing.T) {
-	b := NewBimodal(16)
+	b := mustBimodal(t, 16)
 	for i := 0; i < 10; i++ {
 		b.Update(0, true)
 	}
@@ -53,7 +53,7 @@ func TestBimodalSaturation(t *testing.T) {
 }
 
 func TestBimodalIndexing(t *testing.T) {
-	b := NewBimodal(4)
+	b := mustBimodal(t, 4)
 	// PCs 4 apart map to adjacent entries; train one, other unaffected.
 	for i := 0; i < 4; i++ {
 		b.Update(0x10, true)
@@ -71,16 +71,25 @@ func TestBimodalIndexing(t *testing.T) {
 }
 
 func TestBimodalRejectsBadSize(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic for non-power-of-two size")
+	for _, n := range []int{-4, 0, 3, 12} {
+		if b, err := NewBimodal(n); err == nil || b != nil {
+			t.Fatalf("NewBimodal(%d) = %v, %v; want error", n, b, err)
 		}
-	}()
-	NewBimodal(3)
+	}
+}
+
+// mustBimodal builds a predictor for tests where the size is known good.
+func mustBimodal(t *testing.T, entries int) *Bimodal {
+	t.Helper()
+	b, err := NewBimodal(entries)
+	if err != nil {
+		t.Fatalf("NewBimodal(%d): %v", entries, err)
+	}
+	return b
 }
 
 func TestStatsReset(t *testing.T) {
-	s := &Stats{P: NewBimodal(16)}
+	s := &Stats{P: mustBimodal(t, 16)}
 	s.Resolve(0, true)
 	s.Reset()
 	if s.Branches != 0 || s.Mispredict != 0 {

@@ -1,0 +1,48 @@
+package cfront_test
+
+// Fuzzing for the front end. The package is cfront_test (external) so the
+// seed corpus can reuse the generated application sources from
+// internal/apps without an import cycle.
+//
+// Property under test: no input, however malformed, may panic any stage
+// reachable from source text — Parse, Check, or Lower must either succeed
+// or return an error.
+
+import (
+	"testing"
+
+	"ese/internal/apps"
+	"ese/internal/cdfg"
+	"ese/internal/cfront"
+)
+
+func FuzzParse(f *testing.F) {
+	if src, err := apps.MP3Source("SW", apps.TrainMP3); err == nil {
+		f.Add(src)
+	}
+	f.Add(apps.JPEGSource(apps.DefaultJPEG))
+	f.Add("int x; void main(void) { out(x); }")
+	f.Add("void main() { int i; for (i = 0; i < 4; i = i + 1) { out(i); } }")
+	f.Add("int a[4]; void fill(int b[]) { b[0] = 1; } void main() { fill(a); out(a[0]); }")
+	f.Add("void main() { int i; i = 0; while (1) { i = i + 1; if (i > 3) break; } out(i); }")
+	f.Add("void main() { int b[8]; send(0, b, 8); recv(1, b, 8); }")
+	f.Add("void main() { do { } while (0); }")
+	f.Add("void main(")
+	f.Add("int 3x; void void { } }")
+	f.Add("/* unterminated")
+	f.Add("void main() { int x; x = 1 / 0; out(x % 0); }")
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := cfront.Parse("fuzz.c", src)
+		if err != nil {
+			return
+		}
+		u, err := cfront.Check(file)
+		if err != nil {
+			return
+		}
+		// Lowering accepted input must also be panic-free.
+		if _, err := cdfg.Lower(u); err != nil {
+			return
+		}
+	})
+}

@@ -1,0 +1,43 @@
+package cli
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"testing"
+
+	"ese/internal/diag"
+)
+
+func TestExitCodeClassification(t *testing.T) {
+	parseDiag := diag.Diagnostic{Severity: diag.Error, Stage: diag.StageParse, Msg: "bad token"}
+	simDiag := diag.Diagnostic{Severity: diag.Error, Stage: diag.StageSimulate, Msg: "deadlock"}
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, ExitOK},
+		{"plain runtime", errors.New("boom"), ExitRuntime},
+		{"cancellation", fmt.Errorf("tlm: %w", diag.ErrCanceled), ExitRuntime},
+		{"deadline", fmt.Errorf("tlm: %w", diag.ErrDeadline), ExitRuntime},
+		{"explicit input", Input(errors.New("bad model")), ExitUsage},
+		{"wrapped input", fmt.Errorf("load: %w", Input(errors.New("bad"))), ExitUsage},
+		{"missing file", fmt.Errorf("open: %w", fs.ErrNotExist), ExitUsage},
+		{"permission", fmt.Errorf("open: %w", fs.ErrPermission), ExitUsage},
+		{"parse diagnostic", parseDiag, ExitUsage},
+		{"wrapped parse diagnostic", fmt.Errorf("compile: %w", parseDiag), ExitUsage},
+		{"simulate diagnostic", simDiag, ExitRuntime},
+	}
+	for _, tc := range cases {
+		if got := ExitCode(tc.err); got != tc.want {
+			t.Errorf("%s: ExitCode(%v) = %d, want %d", tc.name, tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestInputNilStaysNil(t *testing.T) {
+	if Input(nil) != nil {
+		t.Fatal("Input(nil) != nil")
+	}
+}

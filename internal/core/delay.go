@@ -17,7 +17,14 @@ type Estimate struct {
 	Ops       int     // "# of BB Ops"
 	Operands  int     // "# of BB Operands" (data-memory operand accesses)
 	Total     float64 // round(Sched + BranchPen + IDelay + DDelay)
+	// Unmapped counts ops whose class the PUM does not map; they were
+	// scheduled with the fallback latency (graceful degradation).
+	Unmapped int
 }
+
+// Degraded reports whether the estimate includes fallback-latency ops, i.e.
+// the PUM did not map every operation class the block uses.
+func (e Estimate) Degraded() bool { return e.Unmapped > 0 }
 
 // SchedResult is the statistics-independent part of a block's estimate:
 // Algorithm 1's optimistic scheduling delay plus the structural block
@@ -31,6 +38,9 @@ type SchedResult struct {
 	Ops      int  // "# of BB Ops"
 	Operands int  // "# of BB Operands"
 	CondBr   bool // block ends in a conditional branch
+	// Unmapped counts ops scheduled with the fallback latency because the
+	// PUM does not map their class.
+	Unmapped int
 }
 
 // Detail selects which PUM sub-models participate in BlockDelay. The full
@@ -81,6 +91,11 @@ func (s *Scheduler) ScheduleBlock(b *cdfg.Block) SchedResult {
 		Ops:      cdfg.NumOps(b),
 		Operands: cdfg.BlockMemOperands(b),
 	}
+	for i := range b.Instrs {
+		if s.Unmapped(cdfg.OpClass(b.Instrs[i].Op)) {
+			sr.Unmapped++
+		}
+	}
 	if t := b.Terminator(); t != nil && t.Op == cdfg.OpBr {
 		sr.CondBr = true
 	}
@@ -101,6 +116,7 @@ func ComposeEstimate(sr SchedResult, p *pum.PUM, detail Detail) Estimate {
 		Sched:    sr.Sched,
 		Ops:      sr.Ops,
 		Operands: sr.Operands,
+		Unmapped: sr.Unmapped,
 	}
 	if detail.PipelineOverlap && e.Ops > 0 {
 		// Remove the per-block pipeline fill that back-to-back execution

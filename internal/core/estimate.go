@@ -1,29 +1,36 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"ese/internal/cdfg"
+	"ese/internal/diag"
 	"ese/internal/pum"
 )
 
 // schedKey addresses one Algorithm 1 result: a block's structural hash
 // under a PUM datapath hash. Cache/branch statistics are deliberately not
-// part of the key — the schedule does not depend on them.
+// part of the key — the schedule does not depend on them. The fallback
+// latency for unmapped op classes is part of the key because it changes
+// the schedule of degraded blocks.
 type schedKey struct {
-	model pum.Fingerprint
-	block cdfg.Fingerprint
+	model    pum.Fingerprint
+	block    cdfg.Fingerprint
+	fallback int
 }
 
 // estKey addresses one full Algorithm 2 estimate: the schedule key plus
 // the statistical-model hash and the detail flags.
 type estKey struct {
-	model  pum.Fingerprint
-	stats  pum.Fingerprint
-	block  cdfg.Fingerprint
-	detail uint8
+	model    pum.Fingerprint
+	stats    pum.Fingerprint
+	block    cdfg.Fingerprint
+	detail   uint8
+	fallback int
 }
 
 // CacheStats reports the hit/miss counters of a Cache.
@@ -119,6 +126,24 @@ type EstOptions struct {
 	// Cache, when non-nil, memoizes schedule results and estimates across
 	// calls, keyed on content fingerprints.
 	Cache *Cache
+	// FallbackCycles is the latency charged to ops whose class the PUM
+	// does not map (graceful degradation); values < 1 use
+	// DefaultFallbackCycles. Such blocks carry Estimate.Unmapped > 0.
+	FallbackCycles int
+	// Strict turns unmapped op classes into hard errors instead of
+	// degraded estimates (only meaningful through EstimateBlocksCtx).
+	Strict bool
+	// Diags, when non-nil, receives a Warning diagnostic for every
+	// degraded block (and the Error diagnostics of strict mode).
+	Diags *diag.List
+}
+
+// fallback returns the effective fallback latency.
+func (o EstOptions) fallback() int {
+	if o.FallbackCycles < 1 {
+		return DefaultFallbackCycles
+	}
+	return o.FallbackCycles
 }
 
 // EstimateBlocks computes the per-block estimate for every block of every
@@ -132,17 +157,39 @@ func EstimateBlocks(prog *cdfg.Program, p *pum.PUM, detail Detail) map[*cdfg.Blo
 }
 
 // EstimateBlocksWith is EstimateBlocks with an explicit worker bound and
-// optional memoization cache.
+// optional memoization cache. Cancellation and strict-mode errors require
+// EstimateBlocksCtx; this legacy form estimates to completion in graceful-
+// degradation mode.
 func EstimateBlocksWith(prog *cdfg.Program, p *pum.PUM, detail Detail, opts EstOptions) map[*cdfg.Block]Estimate {
-	var blocks []*cdfg.Block
+	opts.Strict = false
+	out, _ := EstimateBlocksCtx(context.Background(), prog, p, detail, opts)
+	return out
+}
+
+// EstimateBlocksCtx is the context-aware estimation entry point. Workers
+// check the context between blocks and drain cleanly on cancellation,
+// returning a nil map and the typed diag.ErrCanceled/diag.ErrDeadline. In
+// strict mode (opts.Strict) a block using an op class the PUM does not map
+// is a hard error naming the block and the missing classes; otherwise such
+// blocks are estimated with the fallback latency, flagged via
+// Estimate.Unmapped, and reported as Warning diagnostics on opts.Diags.
+func EstimateBlocksCtx(ctx context.Context, prog *cdfg.Program, p *pum.PUM, detail Detail, opts EstOptions) (map[*cdfg.Block]Estimate, error) {
+	type workItem struct {
+		b  *cdfg.Block
+		fn string
+	}
+	var blocks []workItem
 	for _, fn := range prog.Funcs {
-		blocks = append(blocks, fn.Blocks...)
+		for _, b := range fn.Blocks {
+			blocks = append(blocks, workItem{b: b, fn: fn.Name})
+		}
 	}
 	n := len(blocks)
 	out := make(map[*cdfg.Block]Estimate, n)
 	if n == 0 {
-		return out
+		return out, nil
 	}
+	fallback := opts.fallback()
 
 	// Resolve the model fingerprints once per call; they are shared by
 	// every block's cache key.
@@ -158,11 +205,11 @@ func EstimateBlocksWith(prog *cdfg.Program, p *pum.PUM, detail Detail, opts EstO
 			return ComposeEstimate(s.ScheduleBlock(b), p, detail)
 		}
 		bfp := b.Fingerprint()
-		ek := estKey{model: dpFP, stats: stFP, block: bfp, detail: detailBits}
+		ek := estKey{model: dpFP, stats: stFP, block: bfp, detail: detailBits, fallback: fallback}
 		if e, ok := opts.Cache.estGet(ek); ok {
 			return e
 		}
-		sk := schedKey{model: dpFP, block: bfp}
+		sk := schedKey{model: dpFP, block: bfp, fallback: fallback}
 		sr, ok := opts.Cache.schedGet(sk)
 		if !ok {
 			sr = s.ScheduleBlock(b)
@@ -181,10 +228,15 @@ func EstimateBlocksWith(prog *cdfg.Program, p *pum.PUM, detail Detail, opts EstO
 		workers = n
 	}
 	res := make([]Estimate, n)
+	var canceled atomic.Bool
 	if workers <= 1 {
-		s := NewScheduler(p)
-		for i, b := range blocks {
-			res[i] = estimate(s, b)
+		s := NewSchedulerFallback(p, fallback)
+		for i, w := range blocks {
+			if diag.FromContext(ctx) != nil {
+				canceled.Store(true)
+				break
+			}
+			res[i] = estimate(s, w.b)
 		}
 	} else {
 		var next atomic.Int64
@@ -193,20 +245,58 @@ func EstimateBlocksWith(prog *cdfg.Program, p *pum.PUM, detail Detail, opts EstO
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				s := NewScheduler(p)
+				s := NewSchedulerFallback(p, fallback)
 				for {
+					if canceled.Load() {
+						return
+					}
+					if diag.FromContext(ctx) != nil {
+						canceled.Store(true)
+						return
+					}
 					i := int(next.Add(1)) - 1
 					if i >= n {
 						return
 					}
-					res[i] = estimate(s, blocks[i])
+					res[i] = estimate(s, blocks[i].b)
 				}
 			}()
 		}
 		wg.Wait()
 	}
-	for i, b := range blocks {
-		out[b] = res[i]
+	if canceled.Load() {
+		err := diag.FromContext(ctx)
+		opts.Diags.AddError(diag.StageAnnotate, err)
+		return nil, err
 	}
-	return out
+
+	// Degradation accounting runs post-hoc over the ordered block list, so
+	// diagnostics are deterministic regardless of worker interleaving.
+	for i, w := range blocks {
+		e := res[i]
+		if e.Unmapped > 0 {
+			pos := blockPos(w.fn, w.b)
+			if opts.Strict {
+				d := diag.Diagnostic{
+					Severity: diag.Error,
+					Stage:    diag.StageAnnotate,
+					Pos:      pos,
+					Msg: fmt.Sprintf("PUM %q does not map op classes %v used by the block (%d ops; strict mode)",
+						p.Name, UnmappedClasses(w.b, p), e.Unmapped),
+				}
+				opts.Diags.Add(d)
+				return nil, d
+			}
+			opts.Diags.Warnf(diag.StageAnnotate, pos,
+				"PUM %q does not map op classes %v: %d ops estimated with fallback latency %d",
+				p.Name, UnmappedClasses(w.b, p), e.Unmapped, fallback)
+		}
+		out[w.b] = e
+	}
+	return out, nil
+}
+
+// blockPos renders a block location for diagnostics ("func/bb3").
+func blockPos(fn string, b *cdfg.Block) string {
+	return fmt.Sprintf("%s/bb%d", fn, b.ID)
 }

@@ -30,19 +30,35 @@ type opState struct {
 	height    int // list-scheduling priority (critical path length)
 }
 
+// DefaultFallbackCycles is the latency charged to an operation whose class
+// the PUM does not map, when estimation runs in graceful-degradation mode
+// (see EstOptions.FallbackCycles for the override).
+const DefaultFallbackCycles = 1
+
 // Scheduler is a reusable Algorithm 1 engine bound to one PUM. It resolves
 // the per-class operation info out of the PUM's mapping table once at
 // construction and reuses its simulation scratch state (op array, FU
 // usage, stage occupancy) across blocks, so scheduling a block performs no
 // map lookups and amortizes allocations. A Scheduler is not safe for
 // concurrent use; give each worker its own (they are cheap).
+//
+// Operation classes absent from the PUM's mapping table are scheduled with
+// a synthetic fallback row (fallbackCycles in the first stage, one cycle
+// per later stage) instead of the zero OpInfo, whose empty stage list used
+// to crash the stage-entry simulation. ScheduleBlock counts such ops in
+// SchedResult.Unmapped so callers can flag the block as degraded or reject
+// it in strict mode.
 type Scheduler struct {
 	p *pum.PUM
 	// classInfo caches the operation mapping row per operation class, so
 	// the per-instruction lookup is an array index instead of a map access
-	// plus a fresh OpInfo copy. Unmapped classes keep the zero OpInfo,
-	// matching the zero value a map lookup would have produced.
+	// plus a fresh OpInfo copy. Unmapped classes hold the synthetic
+	// fallback row.
 	classInfo [cdfg.ClassIO + 1]pum.OpInfo
+	// unmapped flags the classes the PUM does not map.
+	unmapped [cdfg.ClassIO + 1]bool
+	// fallbackCycles is the first-stage latency of the synthetic row.
+	fallbackCycles int
 
 	dfg     *cdfg.DFG
 	ops     []opState
@@ -56,12 +72,27 @@ type Scheduler struct {
 	doneCount   int
 }
 
-// NewScheduler builds a reusable scheduler for the PUM.
+// NewScheduler builds a reusable scheduler for the PUM with the default
+// fallback latency for unmapped operation classes.
 func NewScheduler(p *pum.PUM) *Scheduler {
-	s := &Scheduler{p: p, fuUse: make(map[string]int)}
-	for cls, info := range p.Ops {
-		if int(cls) < len(s.classInfo) {
+	return NewSchedulerFallback(p, DefaultFallbackCycles)
+}
+
+// NewSchedulerFallback builds a reusable scheduler whose unmapped
+// operation classes are charged the given first-stage latency (values < 1
+// use DefaultFallbackCycles).
+func NewSchedulerFallback(p *pum.PUM, fallbackCycles int) *Scheduler {
+	if fallbackCycles < 1 {
+		fallbackCycles = DefaultFallbackCycles
+	}
+	s := &Scheduler{p: p, fuUse: make(map[string]int), fallbackCycles: fallbackCycles}
+	fb := fallbackInfo(p, fallbackCycles)
+	for cls := range s.classInfo {
+		if info, ok := p.Ops[cdfg.Class(cls)]; ok && len(info.Stages) > 0 {
 			s.classInfo[cls] = info
+		} else {
+			s.classInfo[cls] = fb
+			s.unmapped[cls] = true
 		}
 	}
 	s.stageOcc = make([][]int, len(p.Pipelines))
@@ -69,6 +100,47 @@ func NewScheduler(p *pum.PUM) *Scheduler {
 		s.stageOcc[pl] = make([]int, len(p.Pipelines[pl].Stages))
 	}
 	return s
+}
+
+// fallbackInfo synthesizes the mapping row used for unmapped classes: the
+// op flows through every stage of the pipeline, paying the fallback
+// latency in the first stage and one cycle in each later stage, demanding
+// operands at issue and committing in the last stage. It claims no
+// functional units, so it can never deadlock on a structural hazard.
+func fallbackInfo(p *pum.PUM, cycles int) pum.OpInfo {
+	nStages := 1
+	if len(p.Pipelines) > 0 && len(p.Pipelines[0].Stages) > 0 {
+		nStages = len(p.Pipelines[0].Stages)
+	}
+	info := pum.OpInfo{Stages: make([]pum.StageUse, nStages), Demand: 0, Commit: nStages - 1}
+	info.Stages[0] = pum.StageUse{Cycles: cycles}
+	for i := 1; i < nStages; i++ {
+		info.Stages[i] = pum.StageUse{Cycles: 1}
+	}
+	return info
+}
+
+// Unmapped reports whether the scheduler treats the class as unmapped.
+func (s *Scheduler) Unmapped(cls cdfg.Class) bool {
+	return int(cls) < len(s.unmapped) && s.unmapped[cls]
+}
+
+// UnmappedClasses returns the distinct operation classes used by the block
+// that the PUM does not map, in class order (nil when fully mapped).
+func UnmappedClasses(b *cdfg.Block, p *pum.PUM) []cdfg.Class {
+	var seen [cdfg.ClassIO + 1]bool
+	var out []cdfg.Class
+	for i := range b.Instrs {
+		cls := cdfg.OpClass(b.Instrs[i].Op)
+		if int(cls) >= len(seen) || seen[cls] {
+			continue
+		}
+		seen[cls] = true
+		if info, ok := p.Ops[cls]; !ok || len(info.Stages) == 0 {
+			out = append(out, cls)
+		}
+	}
+	return out
 }
 
 // Schedule computes the optimistic scheduling delay (in PE cycles) of a

@@ -1,0 +1,131 @@
+package diag
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Severity: Warning, Stage: StageAnnotate, Pos: "main/bb3", Msg: "unmapped op class"}
+	got := d.String()
+	want := "annotate: warning: main/bb3: unmapped op class"
+	if got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	e := Diagnostic{Severity: Error, Stage: StageParse, Msg: "boom"}
+	if !strings.Contains(e.Error(), "parse: error: boom") {
+		t.Fatalf("Error() = %q", e.Error())
+	}
+}
+
+func TestListCollectsConcurrently(t *testing.T) {
+	var l List
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			l.Warnf(StageAnnotate, "", "w%d", i)
+			l.Errorf(StageSimulate, "", "e%d", i)
+		}(i)
+	}
+	wg.Wait()
+	if got := l.Len(); got != 100 {
+		t.Fatalf("Len() = %d, want 100", got)
+	}
+	if got := l.Count(Warning); got != 50 {
+		t.Fatalf("Count(Warning) = %d, want 50", got)
+	}
+	if got := l.Count(Error); got != 50 {
+		t.Fatalf("Count(Error) = %d, want 50", got)
+	}
+}
+
+func TestNilListIsSafe(t *testing.T) {
+	var l *List
+	l.Warnf(StageAnnotate, "", "ignored")
+	l.AddError(StageSimulate, errors.New("ignored"))
+	if l.Len() != 0 || l.All() != nil || l.Count(Warning) != 0 {
+		t.Fatal("nil list must discard everything")
+	}
+}
+
+func TestAddErrorKeepsDiagnostic(t *testing.T) {
+	var l List
+	orig := Diagnostic{Severity: Error, Stage: StageCheck, Pos: "f.c:3:1", Msg: "bad"}
+	l.AddError(StageSimulate, fmt.Errorf("wrapped: %w", orig))
+	ds := l.All()
+	if len(ds) != 1 {
+		t.Fatalf("got %d diagnostics", len(ds))
+	}
+	if ds[0].Stage != StageCheck || ds[0].Pos != "f.c:3:1" {
+		t.Fatalf("diagnostic not preserved: %+v", ds[0])
+	}
+}
+
+func TestFromContext(t *testing.T) {
+	if err := FromContext(context.Background()); err != nil {
+		t.Fatalf("live context: %v", err)
+	}
+	if err := FromContext(nil); err != nil {
+		t.Fatalf("nil context: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := FromContext(ctx)
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled context: %v", err)
+	}
+	if errors.Is(err, ErrDeadline) {
+		t.Fatal("canceled context must not be ErrDeadline")
+	}
+
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer dcancel()
+	<-dctx.Done()
+	derr := FromContext(dctx)
+	if !errors.Is(derr, ErrDeadline) || !errors.Is(derr, context.DeadlineExceeded) {
+		t.Fatalf("expired context: %v", derr)
+	}
+	if !IsCancellation(derr) || !IsCancellation(err) {
+		t.Fatal("IsCancellation must hold for both")
+	}
+	if IsCancellation(errors.New("other")) {
+		t.Fatal("IsCancellation on unrelated error")
+	}
+}
+
+func TestGuardConvertsPanic(t *testing.T) {
+	err := Guard(StageAnnotate, func() error {
+		panic("kaboom")
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %v", err)
+	}
+	if pe.Stage != StageAnnotate || pe.Value != "kaboom" {
+		t.Fatalf("panic not tagged: %+v", pe)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("stack trace missing")
+	}
+	if !strings.Contains(pe.Error(), "annotate: internal panic: kaboom") {
+		t.Fatalf("Error() = %q", pe.Error())
+	}
+}
+
+func TestGuardPassesThrough(t *testing.T) {
+	if err := Guard(StageParse, func() error { return nil }); err != nil {
+		t.Fatalf("nil path: %v", err)
+	}
+	want := errors.New("plain")
+	if err := Guard(StageParse, func() error { return want }); err != want {
+		t.Fatalf("error path: %v", err)
+	}
+}

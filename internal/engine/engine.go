@@ -20,12 +20,16 @@
 package engine
 
 import (
+	"context"
+	"errors"
+	"sync/atomic"
 	"time"
 
 	"ese/internal/annotate"
 	"ese/internal/cdfg"
 	"ese/internal/cfront"
 	"ese/internal/core"
+	"ese/internal/diag"
 	"ese/internal/platform"
 	"ese/internal/pum"
 	"ese/internal/tlm"
@@ -45,6 +49,30 @@ type Options struct {
 	// core.FullDetail (the paper's full Algorithm 2). AnnotateDetail
 	// overrides it per call.
 	Detail *core.Detail
+	// Strict makes annotation fail (through the Ctx entry points) when the
+	// PUM does not map an op class the program uses, instead of degrading
+	// to fallback latencies.
+	Strict bool
+	// FallbackCycles is the stage-0 latency charged to unmapped op classes
+	// in graceful-degradation mode; zero or negative selects
+	// core.DefaultFallbackCycles.
+	FallbackCycles int
+	// Timeout, when positive, arms a wall-clock watchdog on every Ctx entry
+	// point (CompileCtx, AnnotateCtx, SimulateCtx): the call is abandoned
+	// with diag.ErrDeadline once that much host time has elapsed.
+	Timeout time.Duration
+}
+
+// Stats aggregates the pipeline's observability counters: the
+// schedule/estimate cache hit ratios (embedded) plus the graceful-
+// degradation tallies accumulated across every annotation run.
+type Stats struct {
+	core.CacheStats
+	// UnmappedOps counts operations estimated with fallback latency
+	// because the PUM does not map their class.
+	UnmappedOps uint64
+	// DegradedBlocks counts basic blocks containing at least one such op.
+	DegradedBlocks uint64
 }
 
 // Pipeline is a staged estimation flow with a shared schedule/estimate
@@ -56,6 +84,10 @@ type Pipeline struct {
 	opts   Options
 	detail core.Detail
 	cache  *core.Cache
+	diags  diag.List
+
+	unmappedOps    atomic.Uint64
+	degradedBlocks atomic.Uint64
 }
 
 // New constructs a pipeline with the given options.
@@ -73,19 +105,56 @@ func New(opts Options) *Pipeline {
 // Detail returns the detail level Annotate applies.
 func (pl *Pipeline) Detail() core.Detail { return pl.detail }
 
-// Stats returns the cache hit/miss counters accumulated so far (zero
-// counters when the cache is disabled).
-func (pl *Pipeline) Stats() core.CacheStats {
-	if pl.cache == nil {
-		return core.CacheStats{}
+// Stats returns the counters accumulated so far: cache hits/misses (zero
+// when the cache is disabled) and the graceful-degradation tallies.
+func (pl *Pipeline) Stats() Stats {
+	s := Stats{
+		UnmappedOps:    pl.unmappedOps.Load(),
+		DegradedBlocks: pl.degradedBlocks.Load(),
 	}
-	return pl.cache.Stats()
+	if pl.cache != nil {
+		s.CacheStats = pl.cache.Stats()
+	}
+	return s
 }
 
-// estOpts bundles the pipeline's worker bound and cache for the core
-// estimator.
+// Diagnostics returns the pipeline's diagnostic sink: structured,
+// stage-tagged warnings and errors collected by every run through the
+// pipeline (degraded blocks, cancellations, contained panics).
+func (pl *Pipeline) Diagnostics() *diag.List { return &pl.diags }
+
+// estOpts bundles the pipeline's worker bound, cache, degradation policy
+// and diagnostic sink for the core estimator.
 func (pl *Pipeline) estOpts() core.EstOptions {
-	return core.EstOptions{Workers: pl.opts.Workers, Cache: pl.cache}
+	return core.EstOptions{
+		Workers:        pl.opts.Workers,
+		Cache:          pl.cache,
+		Strict:         pl.opts.Strict,
+		FallbackCycles: pl.opts.FallbackCycles,
+		Diags:          &pl.diags,
+	}
+}
+
+// withTimeout applies the pipeline's watchdog to a context.
+func (pl *Pipeline) withTimeout(ctx context.Context) (context.Context, context.CancelFunc) {
+	if pl.opts.Timeout > 0 {
+		return context.WithTimeout(ctx, pl.opts.Timeout)
+	}
+	return ctx, func() {}
+}
+
+// recordDegradation folds one annotation's degradation tallies into the
+// pipeline counters.
+func (pl *Pipeline) recordDegradation(a *annotate.Annotated) {
+	if a == nil {
+		return
+	}
+	if n := a.UnmappedOps(); n > 0 {
+		pl.unmappedOps.Add(uint64(n))
+	}
+	if n := a.DegradedBlocks(); n > 0 {
+		pl.degradedBlocks.Add(uint64(n))
+	}
 }
 
 // ---------------------------------------------------------------- Front end
@@ -113,20 +182,45 @@ func (pl *Pipeline) Simplify(prog *cdfg.Program) *cdfg.Program {
 
 // Compile chains Parse, Check, Lower and (when configured) Simplify.
 func (pl *Pipeline) Compile(name, src string) (*cdfg.Program, error) {
-	f, err := pl.Parse(name, src)
-	if err != nil {
-		return nil, err
+	return pl.CompileCtx(context.Background(), name, src)
+}
+
+// CompileCtx is Compile with panic containment and cancellation: every
+// front-end stage runs under a recover guard, so a malformed input that
+// trips a bug in the parser or lowerer surfaces as a stage-tagged
+// *diag.PanicError instead of killing the process.
+func (pl *Pipeline) CompileCtx(ctx context.Context, name, src string) (*cdfg.Program, error) {
+	ctx, cancel := pl.withTimeout(ctx)
+	defer cancel()
+	var (
+		f    *cfront.File
+		u    *cfront.Unit
+		prog *cdfg.Program
+	)
+	stages := []struct {
+		stage diag.Stage
+		run   func() error
+	}{
+		{diag.StageParse, func() (err error) { f, err = cfront.Parse(name, src); return }},
+		{diag.StageCheck, func() (err error) { u, err = cfront.Check(f); return }},
+		{diag.StageLower, func() (err error) { prog, err = cdfg.Lower(u); return }},
+		{diag.StageSimplify, func() error {
+			if pl.opts.Simplify {
+				cdfg.SimplifyProgram(prog)
+			}
+			return nil
+		}},
 	}
-	u, err := pl.Check(f)
-	if err != nil {
-		return nil, err
-	}
-	prog, err := pl.Lower(u)
-	if err != nil {
-		return nil, err
-	}
-	if pl.opts.Simplify {
-		pl.Simplify(prog)
+	for _, s := range stages {
+		err := diag.FromContext(ctx)
+		if err == nil {
+			err = diag.Guard(s.stage, s.run)
+		}
+		if err != nil {
+			d := diag.Diagnostic{Severity: diag.Error, Stage: s.stage, Msg: err.Error(), Err: err}
+			pl.diags.Add(d)
+			return nil, d
+		}
 	}
 	return prog, nil
 }
@@ -135,7 +229,8 @@ func (pl *Pipeline) Compile(name, src string) (*cdfg.Program, error) {
 
 // Annotate estimates every basic block of the program against the PE
 // model at the pipeline's detail level, through the worker pool and the
-// schedule/estimate cache.
+// schedule/estimate cache. Unmapped op classes always degrade to fallback
+// latencies on this legacy path; use AnnotateCtx for strict mode.
 func (pl *Pipeline) Annotate(prog *cdfg.Program, p *pum.PUM) *annotate.Annotated {
 	return pl.AnnotateDetail(prog, p, pl.detail)
 }
@@ -143,7 +238,41 @@ func (pl *Pipeline) Annotate(prog *cdfg.Program, p *pum.PUM) *annotate.Annotated
 // AnnotateDetail is Annotate with an explicit detail level (used by the
 // PUM-detail ablation).
 func (pl *Pipeline) AnnotateDetail(prog *cdfg.Program, p *pum.PUM, detail core.Detail) *annotate.Annotated {
-	return annotate.AnnotateWith(prog, p, detail, pl.estOpts())
+	a := annotate.AnnotateWith(prog, p, detail, pl.estOpts())
+	pl.recordDegradation(a)
+	return a
+}
+
+// AnnotateCtx estimates every basic block under a context with panic
+// containment: cancellation or deadline expiry aborts the worker fan-out
+// with diag.ErrCanceled/ErrDeadline, strict mode (Options.Strict) rejects
+// PUMs that do not map every op class the program uses, and a panic inside
+// the estimator is returned as a stage-tagged *diag.PanicError.
+func (pl *Pipeline) AnnotateCtx(ctx context.Context, prog *cdfg.Program, p *pum.PUM) (*annotate.Annotated, error) {
+	return pl.AnnotateDetailCtx(ctx, prog, p, pl.detail)
+}
+
+// AnnotateDetailCtx is AnnotateCtx with an explicit detail level.
+func (pl *Pipeline) AnnotateDetailCtx(ctx context.Context, prog *cdfg.Program, p *pum.PUM, detail core.Detail) (*annotate.Annotated, error) {
+	ctx, cancel := pl.withTimeout(ctx)
+	defer cancel()
+	var a *annotate.Annotated
+	err := diag.Guard(diag.StageAnnotate, func() (err error) {
+		a, err = annotate.AnnotateCtx(ctx, prog, p, detail, pl.estOpts())
+		return
+	})
+	if err != nil {
+		// The core estimator records cancellation and strict-mode errors in
+		// the shared diagnostic list itself; only contained panics need to
+		// be added here.
+		var pe *diag.PanicError
+		if errors.As(err, &pe) {
+			pl.diags.AddError(diag.StageAnnotate, err)
+		}
+		return nil, err
+	}
+	pl.recordDegradation(a)
+	return a, nil
 }
 
 // ------------------------------------------------------------- Build / Sim
@@ -152,12 +281,23 @@ func (pl *Pipeline) AnnotateDetail(prog *cdfg.Program, p *pum.PUM, detail core.D
 // returns the per-PE delay maps the timed TLM consumes, plus the
 // wall-clock annotation time (the paper's "Anno." column).
 func (pl *Pipeline) Delays(d *platform.Design, detail core.Detail) (map[string]map[*cdfg.Block]float64, time.Duration) {
+	out, dur, _ := pl.DelaysCtx(context.Background(), d, detail)
+	return out, dur
+}
+
+// DelaysCtx is Delays under a context: cancellation or a strict-mode
+// mapping failure aborts the per-PE annotation loop with the typed error.
+func (pl *Pipeline) DelaysCtx(ctx context.Context, d *platform.Design, detail core.Detail) (map[string]map[*cdfg.Block]float64, time.Duration, error) {
 	start := time.Now()
 	out := make(map[string]map[*cdfg.Block]float64, len(d.PEs))
 	for _, pe := range d.PEs {
-		out[pe.Name] = pl.AnnotateDetail(d.Program, pe.PUM, detail).Delays()
+		a, err := pl.AnnotateDetailCtx(ctx, d.Program, pe.PUM, detail)
+		if err != nil {
+			return nil, time.Since(start), err
+		}
+		out[pe.Name] = a.Delays()
 	}
-	return out, time.Since(start)
+	return out, time.Since(start), nil
 }
 
 // Simulate runs the TLM of a design. For timed runs the annotation phase
@@ -165,10 +305,37 @@ func (pl *Pipeline) Delays(d *platform.Design, detail core.Detail) (map[string]m
 // simulates several configurations of one program reuses every schedule
 // after the first.
 func (pl *Pipeline) Simulate(d *platform.Design, opts tlm.Options) (*tlm.Result, error) {
+	return pl.SimulateCtx(context.Background(), d, opts)
+}
+
+// SimulateCtx is Simulate under a context with panic containment and the
+// pipeline's watchdog: cancellation or deadline expiry interrupts both the
+// annotation fan-out and the simulation event loop. On cancellation mid-
+// simulation the partial tlm.Result is returned together with
+// diag.ErrCanceled/ErrDeadline; a panic anywhere in the stage surfaces as
+// a *diag.PanicError instead of killing the process.
+func (pl *Pipeline) SimulateCtx(ctx context.Context, d *platform.Design, opts tlm.Options) (*tlm.Result, error) {
+	ctx, cancel := pl.withTimeout(ctx)
+	defer cancel()
 	if opts.Timed && opts.Delays == nil {
-		opts.Delays, opts.AnnoTime = pl.Delays(d, opts.Detail)
+		dm, annoTime, err := pl.DelaysCtx(ctx, d, opts.Detail)
+		if err != nil {
+			return nil, err
+		}
+		opts.Delays, opts.AnnoTime = dm, annoTime
 	}
-	return tlm.Run(d, opts)
+	if opts.Ctx == nil {
+		opts.Ctx = ctx
+	}
+	var res *tlm.Result
+	err := diag.Guard(diag.StageSimulate, func() (err error) {
+		res, err = tlm.Run(d, opts)
+		return
+	})
+	if err != nil {
+		pl.diags.AddError(diag.StageSimulate, err)
+	}
+	return res, err
 }
 
 // RunFunctional executes the untimed TLM of a design.

@@ -40,6 +40,12 @@ type Setup struct {
 
 // NewSetup calibrates the MicroBlaze model on the training workload.
 func NewSetup(eval, train apps.MP3Config) (*Setup, error) {
+	return NewSetupWith(eval, train, engine.Options{})
+}
+
+// NewSetupWith is NewSetup with explicit pipeline options (watchdog
+// timeout, strictness, worker bound), the hook esebench's flags use.
+func NewSetupWith(eval, train apps.MP3Config, opts engine.Options) (*Setup, error) {
 	trainProg, err := apps.CompileMP3("SW", train)
 	if err != nil {
 		return nil, err
@@ -48,7 +54,7 @@ func NewSetup(eval, train apps.MP3Config) (*Setup, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Setup{Eval: eval, Train: train, MB: mb, Pipe: engine.New(engine.Options{})}, nil
+	return &Setup{Eval: eval, Train: train, MB: mb, Pipe: engine.New(opts)}, nil
 }
 
 // DefaultSetup uses the standard evaluation and training workloads.

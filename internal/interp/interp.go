@@ -6,15 +6,22 @@
 package interp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"ese/internal/cdfg"
 	"ese/internal/cfront"
+	"ese/internal/diag"
 )
 
 // ErrLimit is returned when the configured dynamic step limit is exceeded.
 var ErrLimit = errors.New("interp: step limit exceeded")
+
+// ctxCheckSteps is how many dynamic IR instructions execute between
+// context checks: frequent enough that a runaway loop is interrupted
+// within microseconds, rare enough to keep the hot loop unburdened.
+const ctxCheckSteps = 4096
 
 // Arg is one call argument: a scalar value or an array passed by reference.
 type Arg struct {
@@ -37,13 +44,22 @@ type Machine struct {
 
 	// OnBlock, when set, observes every dynamic basic-block execution
 	// before the block body runs. The timed TLM uses it to accumulate the
-	// annotated delay.
-	OnBlock func(b *cdfg.Block)
+	// annotated delay. A non-nil return aborts execution with that error.
+	OnBlock func(b *cdfg.Block) error
+
+	// Ctx, when non-nil, bounds execution: the step loop checks it every
+	// few thousand instructions and aborts with diag.ErrCanceled or
+	// diag.ErrDeadline, so an infinite-loop program cannot wedge the
+	// machine.
+	Ctx context.Context
 
 	// Steps counts dynamically executed IR instructions.
 	Steps uint64
 	// Limit aborts execution when Steps exceeds it; 0 means no limit.
 	Limit uint64
+
+	// ctxCountdown spaces the context checks.
+	ctxCountdown uint64
 }
 
 // New creates a machine with globals initialized from the program.
@@ -69,6 +85,7 @@ func (m *Machine) Reset() {
 	}
 	m.Out = m.Out[:0]
 	m.Steps = 0
+	m.ctxCountdown = 0
 }
 
 // Run executes the named entry function with no arguments.
@@ -161,11 +178,29 @@ func (m *Machine) exec(fn *cdfg.Function, f *frame) (int32, error) {
 	b := fn.Entry()
 	for {
 		if m.OnBlock != nil {
-			m.OnBlock(b)
+			if err := m.OnBlock(b); err != nil {
+				return 0, err
+			}
 		}
-		m.Steps += uint64(len(b.Instrs))
+		n := uint64(len(b.Instrs))
+		m.Steps += n
 		if m.Limit != 0 && m.Steps > m.Limit {
 			return 0, ErrLimit
+		}
+		if m.Ctx != nil {
+			// Count down in whole blocks; empty blocks still tick once so
+			// a loop of empty blocks cannot starve the check.
+			if n == 0 {
+				n = 1
+			}
+			if m.ctxCountdown <= n {
+				m.ctxCountdown = ctxCheckSteps
+				if err := diag.FromContext(m.Ctx); err != nil {
+					return 0, err
+				}
+			} else {
+				m.ctxCountdown -= n
+			}
 		}
 		var next *cdfg.Block
 		for i := range b.Instrs {

@@ -305,7 +305,7 @@ void main() {
 }`)
 	m := New(p)
 	count := 0
-	m.OnBlock = func(b *cdfg.Block) { count++ }
+	m.OnBlock = func(b *cdfg.Block) error { count++; return nil }
 	if err := m.Run("main"); err != nil {
 		t.Fatalf("Run: %v", err)
 	}

@@ -1,0 +1,35 @@
+package pum
+
+// Fuzzing for the retargeting interface: FromJSON accepts descriptions
+// from outside the tool, so no byte sequence may panic it — it must
+// either return a validated model or an error, and every accepted model
+// must survive a serialization round trip.
+
+import "testing"
+
+func FuzzFromJSON(f *testing.F) {
+	for _, m := range []*PUM{MicroBlaze(), DualIssue(), CustomHW("hw", 100_000_000)} {
+		if data, err := m.ToJSON(); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x"`))
+	f.Add([]byte(`{"name":"x","clock_hz":-1}`))
+	f.Add([]byte(`{"ops":{"nosuch":{}}}`))
+	f.Add([]byte(`{"pipelines":[],"ops":{"alu":{"stages":[{"cycles":-5}],"commit":99}}}`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := FromJSON(data)
+		if err != nil {
+			return
+		}
+		out, err := p.ToJSON()
+		if err != nil {
+			t.Fatalf("accepted model failed to serialize: %v", err)
+		}
+		if _, err := FromJSON(out); err != nil {
+			t.Fatalf("round trip rejected: %v\njson: %s", err, out)
+		}
+	})
+}

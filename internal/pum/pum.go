@@ -206,8 +206,9 @@ func (p *PUM) FUQuantity(id string) int {
 	return 0
 }
 
-// scheduledClasses are the operation classes every PUM must map, i.e. every
-// class the lowering can produce.
+// scheduledClasses are the operation classes the lowering can produce. A
+// model need not map all of them: estimation charges unmapped classes the
+// fallback latency (graceful degradation) or rejects them in strict mode.
 var scheduledClasses = []cdfg.Class{
 	cdfg.ClassALU, cdfg.ClassMul, cdfg.ClassDiv, cdfg.ClassShift,
 	cdfg.ClassLoad, cdfg.ClassStore, cdfg.ClassBranch, cdfg.ClassJump,
@@ -250,7 +251,7 @@ func (p *PUM) Validate() error {
 	for _, cls := range scheduledClasses {
 		info, ok := p.Ops[cls]
 		if !ok {
-			return fmt.Errorf("pum %s: operation class %v is not mapped", p.Name, cls)
+			continue
 		}
 		if len(info.Stages) != nStages {
 			return fmt.Errorf("pum %s: class %v maps %d stages, pipeline has %d",

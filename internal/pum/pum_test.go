@@ -27,7 +27,8 @@ func TestValidateCatchesErrors(t *testing.T) {
 		{"zero width", func(p *PUM) { p.Pipelines[0].IssueWidth = 0 }, "issue width"},
 		{"bad fu qty", func(p *PUM) { p.FUs[0].Quantity = 0 }, "quantity"},
 		{"dup fu", func(p *PUM) { p.FUs = append(p.FUs, FU{ID: "alu", Quantity: 1}) }, "duplicate"},
-		{"missing class", func(p *PUM) { delete(p.Ops, cdfg.ClassDiv) }, "not mapped"},
+		// A missing class is deliberately NOT an error: estimation
+		// degrades it to the fallback latency (TestValidateAllowsUnmapped).
 		{"bad demand", func(p *PUM) {
 			i := p.Ops[cdfg.ClassALU]
 			i.Demand = 9
@@ -66,6 +67,17 @@ func TestValidateCatchesErrors(t *testing.T) {
 		if !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.want)
 		}
+	}
+}
+
+func TestValidateAllowsUnmapped(t *testing.T) {
+	// A model that omits an op class is legal — retargeted descriptions
+	// often lack exotic units, and estimation degrades gracefully — but
+	// the classes it does map must still be internally consistent.
+	p := MicroBlaze()
+	delete(p.Ops, cdfg.ClassDiv)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate rejected a model with an unmapped class: %v", err)
 	}
 }
 

@@ -154,7 +154,7 @@ func RunBoard(d *platform.Design, limit uint64) (*BoardResult, error) {
 					}
 				}
 				hw.M.Limit = limit
-				hw.M.OnBlock = func(b *cdfg.Block) { pending += hw.Delay(b) }
+				hw.M.OnBlock = func(b *cdfg.Block) error { pending += hw.Delay(b); return nil }
 				hw.M.Send = func(ch int, data []int32) error {
 					drain()
 					bus.Send(p, ch, data)

@@ -35,11 +35,11 @@ func RealCacheConfig(size int) cache.Config {
 }
 
 // predictorFor builds the predictor named by the PUM branch model.
-func predictorFor(name string) branch.Predictor {
+func predictorFor(name string) (branch.Predictor, error) {
 	if name == "2bit" {
 		return branch.NewBimodal(512)
 	}
-	return branch.StaticNotTaken{}
+	return branch.StaticNotTaken{}, nil
 }
 
 // CPU is the cycle-accurate in-order pipeline model driving one functional
@@ -75,7 +75,11 @@ func NewCPU(m *iss.Machine, cfg CPUConfig) (*CPU, error) {
 	}
 	pred := cfg.Predictor
 	if pred == nil {
-		pred = predictorFor(cfg.Model.Branch.Predictor)
+		var err error
+		pred, err = predictorFor(cfg.Model.Branch.Predictor)
+		if err != nil {
+			return nil, err
+		}
 	}
 	c.BP = &branch.Stats{P: pred}
 	for cls, info := range cfg.Model.Ops {

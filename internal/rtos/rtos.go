@@ -222,11 +222,13 @@ func (c *CPU) shouldPreempt(t *Task) bool {
 }
 
 // Consume charges cycles of computation to the task, advancing simulated
-// time while the task holds the CPU and yielding at scheduling points.
-func (c *CPU) Consume(t *Task, cycles uint64) {
+// time while the task holds the CPU and yielding at scheduling points. It
+// returns an error if the task does not hold the CPU — a scheduling
+// invariant violation that would silently corrupt the timeline.
+func (c *CPU) Consume(t *Task, cycles uint64) error {
 	for cycles > 0 {
 		if c.current != t {
-			panic("rtos: task consuming without the CPU: " + t.Name)
+			return fmt.Errorf("rtos: task %s consuming without the CPU", t.Name)
 		}
 		chunk := cycles
 		if c.cfg.Policy == RoundRobin && c.cfg.TimeSliceCycles > 0 && t.sliceLeft < chunk {
@@ -245,7 +247,7 @@ func (c *CPU) Consume(t *Task, cycles uint64) {
 			}
 		}
 		if cycles == 0 {
-			return
+			return nil
 		}
 		// Slice boundary mid-request: scheduling point.
 		if c.shouldPreempt(t) {
@@ -255,6 +257,7 @@ func (c *CPU) Consume(t *Task, cycles uint64) {
 			t.sliceLeft = c.cfg.TimeSliceCycles
 		}
 	}
+	return nil
 }
 
 // SchedulingPoint lets the policy preempt between basic-block delay
@@ -268,14 +271,16 @@ func (c *CPU) SchedulingPoint(t *Task) {
 }
 
 // Block releases the CPU around a blocking operation: op runs without the
-// CPU held; afterwards the task re-acquires it.
-func (c *CPU) Block(t *Task, op func()) {
+// CPU held; afterwards the task re-acquires it. It returns an error if the
+// task does not hold the CPU (see Consume).
+func (c *CPU) Block(t *Task, op func()) error {
 	if c.current != t {
-		panic("rtos: task blocking without the CPU: " + t.Name)
+		return fmt.Errorf("rtos: task %s blocking without the CPU", t.Name)
 	}
 	c.release(t, false)
 	op()
 	c.acquire(t)
+	return nil
 }
 
 // Finish marks the task complete and hands the CPU on.

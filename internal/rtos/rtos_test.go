@@ -38,12 +38,18 @@ func runRTOS(t *testing.T, cfg Config, specs []taskSpec) (map[string]*taskResult
 		k.Spawn(spec.name, func(p *sim.Process) {
 			cpu.Bind(task, p)
 			for i, chunk := range spec.chunks {
-				cpu.Consume(task, chunk)
+				if err := cpu.Consume(task, chunk); err != nil {
+					t.Errorf("Consume(%s): %v", spec.name, err)
+					return
+				}
 				if i < len(spec.chunks)-1 {
 					cpu.SchedulingPoint(task)
 				}
 				if spec.blockAfter == i {
-					cpu.Block(task, func() { p.Wait(spec.blockPs) })
+					if err := cpu.Block(task, func() { p.Wait(spec.blockPs) }); err != nil {
+						t.Errorf("Block(%s): %v", spec.name, err)
+						return
+					}
 				}
 			}
 			cpu.Finish(task)

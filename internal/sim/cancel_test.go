@@ -1,0 +1,52 @@
+package sim
+
+// Kernel cancellation: the event loop must stop dispatching once its
+// context dies, even when the queue would otherwise never drain.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ese/internal/diag"
+)
+
+// spinForever keeps the event queue non-empty indefinitely while always
+// yielding back to the kernel, so only the loop's context check can end
+// the run.
+func spinForever(k *Kernel) {
+	k.Spawn("spin", func(p *Process) {
+		for {
+			p.Wait(1)
+		}
+	})
+}
+
+func TestRunCtxCanceled(t *testing.T) {
+	k := NewKernel()
+	spinForever(k)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := k.RunCtx(ctx); !errors.Is(err, diag.ErrCanceled) {
+		t.Fatalf("RunCtx error = %v, want diag.ErrCanceled", err)
+	}
+}
+
+func TestRunCtxDeadline(t *testing.T) {
+	k := NewKernel()
+	spinForever(k)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	now, err := k.RunCtx(ctx)
+	if !errors.Is(err, diag.ErrDeadline) {
+		t.Fatalf("RunCtx error = %v, want diag.ErrDeadline", err)
+	}
+	if now == 0 {
+		t.Fatal("RunCtx made no simulated progress before the deadline")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("RunCtx took %v to notice the deadline", elapsed)
+	}
+}

@@ -19,8 +19,11 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
+
+	"ese/internal/diag"
 )
 
 // Time is simulation time in abstract base units. The TLM layer uses
@@ -39,7 +42,18 @@ type Kernel struct {
 	current *Process
 	stopped bool
 	maxTime Time // 0 means unbounded
+	// ctx, when non-nil, is checked periodically by the event loop so a
+	// runaway simulation (e.g. endless delta cycles) terminates with a
+	// typed cancellation error instead of spinning forever.
+	ctx context.Context
+	// ctxCountdown spaces the context checks (checking every dispatch
+	// would put a lock acquisition on the hot path).
+	ctxCountdown int
 }
+
+// ctxCheckInterval is how many queue items the event loop processes
+// between context checks.
+const ctxCheckInterval = 256
 
 // NewKernel returns an empty simulator positioned at time zero.
 func NewKernel() *Kernel {
@@ -108,7 +122,27 @@ func (k *Kernel) scheduleFire(ev *Event, delay Time) {
 // It returns the final simulation time. If processes remain blocked on
 // events that can never fire, Run returns ErrDeadlock wrapping their names.
 func (k *Kernel) Run() (Time, error) {
+	return k.RunCtx(context.Background())
+}
+
+// RunCtx is Run under a context: the event loop checks the context every
+// few hundred queue items and, once it is canceled or past its deadline,
+// stops dispatching and returns the current (partial) simulation time with
+// diag.ErrCanceled or diag.ErrDeadline. Note that a process that never
+// yields back to the kernel cannot be interrupted here — compute-bound
+// process bodies (e.g. the IR interpreter) carry their own context checks.
+func (k *Kernel) RunCtx(ctx context.Context) (Time, error) {
+	k.ctx = ctx
+	k.ctxCountdown = 0
+	defer func() { k.ctx = nil }()
 	for k.queue.Len() > 0 && !k.stopped {
+		if k.ctxCountdown--; k.ctxCountdown < 0 {
+			k.ctxCountdown = ctxCheckInterval
+			if err := diag.FromContext(k.ctx); err != nil {
+				k.stopped = true
+				return k.now, err
+			}
+		}
 		item := heap.Pop(&k.queue).(*queueItem)
 		if k.maxTime != 0 && item.t > k.maxTime {
 			k.now = k.maxTime

@@ -1,12 +1,14 @@
 package tlm
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"ese/internal/annotate"
 	"ese/internal/cdfg"
 	"ese/internal/core"
+	"ese/internal/diag"
 	"ese/internal/interp"
 	"ese/internal/platform"
 	"ese/internal/rtos"
@@ -34,6 +36,15 @@ type Options struct {
 	Timed     bool
 	WaitMode  WaitMode
 	StepLimit uint64 // per-process dynamic instruction limit (0 = none)
+	// Ctx, when non-nil, bounds the simulation: cancellation or deadline
+	// expiry interrupts the event loop and every interpreter, and Run
+	// returns the partial Result together with diag.ErrCanceled or
+	// diag.ErrDeadline.
+	Ctx context.Context
+	// Timeout, when positive, arms a wall-clock watchdog on top of Ctx: the
+	// run is abandoned (with diag.ErrDeadline) once that much host time has
+	// elapsed, so a wedged model cannot hang the caller.
+	Timeout time.Duration
 	// Detail selects the PUM sub-models used during annotation.
 	Detail core.Detail
 	// Delays, when non-nil, supplies precomputed per-PE delay maps (keyed
@@ -92,6 +103,15 @@ func Run(d *platform.Design, opts Options) (*Result, error) {
 	}
 	if err := d.ValidateChannels(); err != nil {
 		return nil, err
+	}
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
 	}
 	res := &Result{
 		Design:       d.Name,
@@ -157,7 +177,7 @@ func Run(d *platform.Design, opts Options) (*Result, error) {
 			}{pe, cpu})
 			for _, tk := range pe.Tasks {
 				tk := tk
-				runs = append(runs, spawnRTOSTask(k, d, pe, tk, cpu, bus, delays[pe], opts))
+				runs = append(runs, spawnRTOSTask(ctx, k, d, pe, tk, cpu, bus, delays[pe], opts))
 			}
 			continue
 		}
@@ -167,17 +187,16 @@ func Run(d *platform.Design, opts Options) (*Result, error) {
 			if len(pe.Tasks) > 0 {
 				key = pe.Name + "/" + task.Name
 			}
-			runs = append(runs, spawnProcess(k, d, pe, key, task.Entry, bus, delays[pe], periodPs, opts, res))
+			runs = append(runs, spawnProcess(ctx, k, d, pe, key, task.Entry, bus, delays[pe], periodPs, opts, res))
 		}
 	}
-	end, err := k.Run()
+	end, err := k.RunCtx(ctx)
 	res.Wall = time.Since(wallStart)
 	res.EndPs = end
 	res.BusWords = bus.Words
+	// Harvest what every process produced, even on failure: a cancelled or
+	// timed-out run still yields its partial streams and counters.
 	for _, pr := range runs {
-		if pr.err != nil {
-			return nil, fmt.Errorf("tlm: process %s: %w", pr.key, pr.err)
-		}
 		res.OutByPE[pr.key] = append([]int32(nil), pr.m.Out...)
 		res.Steps += pr.m.Steps
 		if pr.task != nil {
@@ -188,18 +207,45 @@ func Run(d *platform.Design, opts Options) (*Result, error) {
 	for _, rc := range rtosCPUs {
 		res.SwitchesByPE[rc.pe.Name] = rc.cpu.Switches
 	}
+	// Cancellation (from the kernel loop or any interpreter) returns the
+	// partial Result alongside the typed error; any other process failure
+	// stays fatal.
+	var cancelErr error
+	for _, pr := range runs {
+		if pr.err == nil {
+			continue
+		}
+		wrapped := fmt.Errorf("tlm: process %s: %w", pr.key, pr.err)
+		if diag.IsCancellation(pr.err) {
+			if cancelErr == nil {
+				cancelErr = wrapped
+			}
+			continue
+		}
+		return nil, wrapped
+	}
 	if err != nil {
-		return nil, fmt.Errorf("tlm: %s: %w", d.Name, err)
+		wrapped := fmt.Errorf("tlm: %s: %w", d.Name, err)
+		if !diag.IsCancellation(err) {
+			return nil, wrapped
+		}
+		if cancelErr == nil {
+			cancelErr = wrapped
+		}
+	}
+	if cancelErr != nil {
+		return res, cancelErr
 	}
 	return res, nil
 }
 
 // spawnProcess wires a plain (non-RTOS) process onto the kernel.
-func spawnProcess(k *sim.Kernel, d *platform.Design, pe *platform.PE, key, entry string,
+func spawnProcess(ctx context.Context, k *sim.Kernel, d *platform.Design, pe *platform.PE, key, entry string,
 	bus *Bus, dm map[*cdfg.Block]float64, periodPs sim.Time, opts Options, res *Result) *procRun {
 	pr := &procRun{key: key, pe: pe}
 	m := interp.New(d.Program)
 	m.Limit = opts.StepLimit
+	m.Ctx = ctx
 	pr.m = m
 	k.Spawn(key, func(p *sim.Process) {
 		var busy *trace.Signal
@@ -220,7 +266,7 @@ func spawnProcess(k *sim.Kernel, d *platform.Design, pe *platform.PE, key, entry
 		}
 		if opts.Timed {
 			if opts.WaitMode == WaitPerBlock {
-				m.OnBlock = func(b *cdfg.Block) {
+				m.OnBlock = func(b *cdfg.Block) error {
 					delay := dm[b]
 					if delay > 0 {
 						start := p.Now()
@@ -230,9 +276,10 @@ func spawnProcess(k *sim.Kernel, d *platform.Design, pe *platform.PE, key, entry
 						}
 						res.CyclesByPE[key] += uint64(delay)
 					}
+					return nil
 				}
 			} else {
-				m.OnBlock = func(b *cdfg.Block) { pendingCycles += dm[b] }
+				m.OnBlock = func(b *cdfg.Block) error { pendingCycles += dm[b]; return nil }
 			}
 		}
 		m.Send = func(ch int, data []int32) error {
@@ -258,7 +305,7 @@ func spawnProcess(k *sim.Kernel, d *platform.Design, pe *platform.PE, key, entry
 // spawnRTOSTask wires one RTOS-managed task: its block delays consume the
 // shared CPU through the RTOS arbiter, and communication releases the CPU
 // while blocked (the timed RTOS model).
-func spawnRTOSTask(k *sim.Kernel, d *platform.Design, pe *platform.PE, tk platform.SWTask,
+func spawnRTOSTask(ctx context.Context, k *sim.Kernel, d *platform.Design, pe *platform.PE, tk platform.SWTask,
 	cpu *rtos.CPU, bus *Bus, dm map[*cdfg.Block]float64, opts Options) *procRun {
 	key := pe.Name + "/" + tk.Name
 	pr := &procRun{key: key, pe: pe}
@@ -266,44 +313,57 @@ func spawnRTOSTask(k *sim.Kernel, d *platform.Design, pe *platform.PE, tk platfo
 	pr.task = task
 	m := interp.New(d.Program)
 	m.Limit = opts.StepLimit
+	m.Ctx = ctx
 	pr.m = m
 	k.Spawn(key, func(p *sim.Process) {
 		cpu.Bind(task, p)
 		var pendingCycles float64
-		drain := func() {
+		drain := func() error {
 			if pendingCycles > 0 {
-				cpu.Consume(task, uint64(pendingCycles))
+				if err := cpu.Consume(task, uint64(pendingCycles)); err != nil {
+					return err
+				}
 				pendingCycles = 0
 			}
+			return nil
 		}
 		if opts.WaitMode == WaitPerBlock {
-			m.OnBlock = func(b *cdfg.Block) {
+			m.OnBlock = func(b *cdfg.Block) error {
 				if delay := dm[b]; delay > 0 {
-					cpu.Consume(task, uint64(delay))
+					if err := cpu.Consume(task, uint64(delay)); err != nil {
+						return err
+					}
 					cpu.SchedulingPoint(task)
 				}
+				return nil
 			}
 		} else {
-			m.OnBlock = func(b *cdfg.Block) { pendingCycles += dm[b] }
+			m.OnBlock = func(b *cdfg.Block) error { pendingCycles += dm[b]; return nil }
 		}
 		m.Send = func(ch int, data []int32) error {
-			drain()
+			if err := drain(); err != nil {
+				return err
+			}
 			cpu.SchedulingPoint(task)
-			cpu.Block(task, func() { bus.Send(p, ch, data) })
-			return nil
+			return cpu.Block(task, func() { bus.Send(p, ch, data) })
 		}
 		m.Recv = func(ch int, buf []int32) error {
-			drain()
+			if err := drain(); err != nil {
+				return err
+			}
 			cpu.SchedulingPoint(task)
-			cpu.Block(task, func() { bus.Recv(p, ch, buf) })
-			return nil
+			return cpu.Block(task, func() { bus.Recv(p, ch, buf) })
 		}
 		if err := m.Run(tk.Entry); err != nil {
 			pr.err = err
 			k.Stop()
 			return
 		}
-		drain()
+		if err := drain(); err != nil {
+			pr.err = err
+			k.Stop()
+			return
+		}
 		cpu.Finish(task)
 	})
 	return pr
