@@ -7,6 +7,10 @@
 //
 //	esebench [-frames N] [-table 1|2|3] [-ablation sensitivity|granularity|pumdetail] [-all]
 //
+//	-metrics      print the pipeline's internal metrics snapshot at exit
+//	-pprof ADDR   serve net/http/pprof on ADDR (e.g. localhost:6060) for
+//	              the duration of the run
+//
 // Exit codes: 0 success, 1 runtime failure (including timeout), 2 usage or
 // input error. Diagnostics go to stderr, results to stdout.
 package main
@@ -15,6 +19,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
 	"time"
 
 	"ese/internal/apps"
@@ -31,12 +38,25 @@ func main() {
 	all := flag.Bool("all", false, "run every table and ablation")
 	jsonOut := flag.Bool("json", false, "emit results as JSON lines instead of tables")
 	timeout := flag.Duration("timeout", 0, "wall-clock watchdog per pipeline run (0 = none)")
+	showMetrics := flag.Bool("metrics", false, "print the pipeline metrics snapshot at exit")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
-	cli.Fail("esebench", run(*frames, *table, *ablation, *all, *jsonOut, *timeout))
+	if *pprofAddr != "" {
+		go func() {
+			// DefaultServeMux carries the pprof handlers via the blank
+			// import; the server lives for the process lifetime.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "esebench: pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "esebench: pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+
+	cli.Fail("esebench", run(*frames, *table, *ablation, *all, *jsonOut, *showMetrics, *timeout))
 }
 
-func run(frames, table int, ablation string, all, jsonOut bool, timeout time.Duration) error {
+func run(frames, table int, ablation string, all, jsonOut, showMetrics bool, timeout time.Duration) error {
 	eval := apps.MP3Config{Frames: frames, Seed: apps.DefaultMP3.Seed}
 	if !jsonOut {
 		fmt.Printf("workload: MP3-like decode, %d frames (eval seed 0x%X, train seed 0x%X)\n",
@@ -140,6 +160,9 @@ func run(frames, table int, ablation string, all, jsonOut bool, timeout time.Dur
 			fmt.Printf("degraded estimation: %d ops in %d blocks used fallback latency (unmapped op classes)\n",
 				cs.UnmappedOps, cs.DegradedBlocks)
 		}
+	}
+	if showMetrics {
+		fmt.Printf("\npipeline metrics:\n%s", s.Pipe.MetricsSnapshot())
 	}
 	return nil
 }

@@ -1,7 +1,7 @@
 // Command eseest is the estimation front end: it compiles a C-subset
 // source file, annotates every basic block against a processing unit model
-// (Algorithms 1 and 2 of the paper), and prints the annotation summary or
-// the generated timed source.
+// (Algorithms 1 and 2 of the paper), and prints the annotation summary,
+// the generated timed source, or the cycle-attribution profile.
 //
 // Usage:
 //
@@ -13,6 +13,13 @@
 //	-emit-c               print the delay-annotated C-like source
 //	-emit-go              print the generated timed Go process
 //	-blocks               print the per-block estimate table
+//	-profile              execute the program and print the ranked
+//	                      cycle-attribution report (where the estimated
+//	                      cycles go); requires a self-contained entry
+//	-profile-json FILE    write the full attribution report as JSON
+//	                      ("-" for stdout)
+//	-entry NAME           entry function for -profile (default main)
+//	-top N                rows shown by -profile (default 20, 0 = all)
 //	-dump                 print the CDFG IR
 //	-strict               fail (exit 1) when the PE model does not map an
 //	                      op class the program uses
@@ -35,30 +42,56 @@ import (
 	"ese/internal/cdfg"
 	"ese/internal/cli"
 	"ese/internal/core"
+	"ese/internal/interp"
 	"ese/internal/iss"
+	"ese/internal/profile"
 )
 
+// options bundles the flag values.
+type options struct {
+	pum            string
+	icache, dcache int
+	emitC, emitGo  bool
+	blocks, dump   bool
+	dotCFG, dotDFG string
+	disasm         bool
+	strict         bool
+	fallback       int
+	timeout        time.Duration
+	profile        bool
+	profileJSON    string
+	entry          string
+	top            int
+	steps          uint64
+}
+
 func main() {
-	pumFlag := flag.String("pum", "microblaze", "PE model name or JSON file")
-	icache := flag.Int("icache", 8192, "i-cache size in bytes (0 = uncached)")
-	dcache := flag.Int("dcache", 4096, "d-cache size in bytes (0 = uncached)")
-	emitC := flag.Bool("emit-c", false, "emit delay-annotated C-like source")
-	emitGo := flag.Bool("emit-go", false, "emit generated timed Go source")
-	blocks := flag.Bool("blocks", false, "print per-block estimates")
-	dump := flag.Bool("dump", false, "print the CDFG IR")
-	dotCFG := flag.String("dot-cfg", "", "print the dot CFG of the named function")
-	dotDFG := flag.String("dot-dfg", "", "print the dot DFGs of the named function's blocks")
-	disasm := flag.Bool("disasm", false, "print the generated virtual-ISA assembly")
-	strict := flag.Bool("strict", false, "reject PE models that do not map every op class used")
-	fallback := flag.Int("fallback", core.DefaultFallbackCycles, "fallback cycles for unmapped op classes")
-	timeout := flag.Duration("timeout", 0, "wall-clock watchdog for the run (0 = none)")
+	var o options
+	flag.StringVar(&o.pum, "pum", "microblaze", "PE model name or JSON file")
+	flag.IntVar(&o.icache, "icache", 8192, "i-cache size in bytes (0 = uncached)")
+	flag.IntVar(&o.dcache, "dcache", 4096, "d-cache size in bytes (0 = uncached)")
+	flag.BoolVar(&o.emitC, "emit-c", false, "emit delay-annotated C-like source")
+	flag.BoolVar(&o.emitGo, "emit-go", false, "emit generated timed Go source")
+	flag.BoolVar(&o.blocks, "blocks", false, "print per-block estimates")
+	flag.BoolVar(&o.dump, "dump", false, "print the CDFG IR")
+	flag.StringVar(&o.dotCFG, "dot-cfg", "", "print the dot CFG of the named function")
+	flag.StringVar(&o.dotDFG, "dot-dfg", "", "print the dot DFGs of the named function's blocks")
+	flag.BoolVar(&o.disasm, "disasm", false, "print the generated virtual-ISA assembly")
+	flag.BoolVar(&o.strict, "strict", false, "reject PE models that do not map every op class used")
+	flag.IntVar(&o.fallback, "fallback", core.DefaultFallbackCycles, "fallback cycles for unmapped op classes")
+	flag.DurationVar(&o.timeout, "timeout", 0, "wall-clock watchdog for the run (0 = none)")
+	flag.BoolVar(&o.profile, "profile", false, "execute and print the cycle-attribution profile")
+	flag.StringVar(&o.profileJSON, "profile-json", "", "write the attribution report as JSON to FILE (\"-\" = stdout)")
+	flag.StringVar(&o.entry, "entry", "main", "entry function for -profile")
+	flag.IntVar(&o.top, "top", 20, "rows shown by -profile (0 = all)")
+	flag.Uint64Var(&o.steps, "steps", 0, "dynamic step limit for -profile (0 = none)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: eseest [flags] app.c")
 		flag.Usage()
 		os.Exit(cli.ExitUsage)
 	}
-	cli.Fail("eseest", run(flag.Arg(0), *pumFlag, *icache, *dcache, *emitC, *emitGo, *blocks, *dump, *dotCFG, *dotDFG, *disasm, *strict, *fallback, *timeout))
+	cli.Fail("eseest", run(flag.Arg(0), o))
 }
 
 func loadPUM(name string) (*ese.PUM, error) {
@@ -81,44 +114,44 @@ func loadPUM(name string) (*ese.PUM, error) {
 	return p, nil
 }
 
-func run(file, pumName string, icache, dcache int, emitC, emitGo, blocks, dump bool, dotCFG, dotDFG string, disasm bool, strict bool, fallback int, timeout time.Duration) error {
+func run(file string, o options) error {
 	src, err := os.ReadFile(file)
 	if err != nil {
 		return cli.Input(err)
 	}
 	pl := ese.NewPipeline(ese.PipelineOptions{
-		Strict:         strict,
-		FallbackCycles: fallback,
-		Timeout:        timeout,
+		Strict:         o.strict,
+		FallbackCycles: o.fallback,
+		Timeout:        o.timeout,
 	})
 	defer cli.PrintDiags("eseest", pl.Diagnostics())
 	prog, err := pl.Compile(file, string(src))
 	if err != nil {
 		return err
 	}
-	if dump {
+	if o.dump {
 		fmt.Print(prog.Dump())
 		return nil
 	}
-	if dotCFG != "" {
-		fn := prog.Func(dotCFG)
+	if o.dotCFG != "" {
+		fn := prog.Func(o.dotCFG)
 		if fn == nil {
-			return fmt.Errorf("no function %q", dotCFG)
+			return fmt.Errorf("no function %q", o.dotCFG)
 		}
 		fmt.Print(fn.DotCFG())
 		return nil
 	}
-	if dotDFG != "" {
-		fn := prog.Func(dotDFG)
+	if o.dotDFG != "" {
+		fn := prog.Func(o.dotDFG)
 		if fn == nil {
-			return fmt.Errorf("no function %q", dotDFG)
+			return fmt.Errorf("no function %q", o.dotDFG)
 		}
 		for _, b := range fn.Blocks {
 			fmt.Print(cdfg.DotDFG(b))
 		}
 		return nil
 	}
-	if disasm {
+	if o.disasm {
 		isa, err := iss.Generate(prog)
 		if err != nil {
 			return err
@@ -126,12 +159,12 @@ func run(file, pumName string, icache, dcache int, emitC, emitGo, blocks, dump b
 		fmt.Print(iss.Disassemble(isa))
 		return nil
 	}
-	model, err := loadPUM(pumName)
+	model, err := loadPUM(o.pum)
 	if err != nil {
 		return err
 	}
-	if model.Mem.HasICache || model.Mem.HasDCache || icache == 0 {
-		model, err = model.WithCache(ese.CacheCfg{ISize: icache, DSize: dcache})
+	if model.Mem.HasICache || model.Mem.HasDCache || o.icache == 0 {
+		model, err = model.WithCache(ese.CacheCfg{ISize: o.icache, DSize: o.dcache})
 		if err != nil {
 			return err
 		}
@@ -141,11 +174,13 @@ func run(file, pumName string, icache, dcache int, emitC, emitGo, blocks, dump b
 		return err
 	}
 	switch {
-	case emitC:
+	case o.profile || o.profileJSON != "":
+		return runProfile(prog, model.Name, a.Est, o)
+	case o.emitC:
 		fmt.Print(a.EmitTimedC())
-	case emitGo:
+	case o.emitGo:
 		fmt.Print(a.EmitTimedGo("timed"))
-	case blocks:
+	case o.blocks:
 		for _, fn := range prog.Funcs {
 			fmt.Printf("func %s\n", fn.Name)
 			for _, b := range fn.Blocks {
@@ -160,6 +195,46 @@ func run(file, pumName string, icache, dcache int, emitC, emitGo, blocks, dump b
 		}
 	default:
 		fmt.Print(a.Summary())
+	}
+	return nil
+}
+
+// runProfile executes the program's entry on the IR interpreter, counting
+// block executions, and joins the counts with the annotation into the
+// ranked cycle-attribution report. The dynamic total is the program's
+// estimated cycle count on the model (identical, bit for bit, to what the
+// timed TLM would accumulate for a lone PE without communication stalls).
+func runProfile(prog *ese.Program, model string, est map[*cdfg.Block]core.Estimate, o options) error {
+	m := interp.New(prog)
+	m.EnableProfile()
+	m.Limit = o.steps
+	if o.timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), o.timeout)
+		defer cancel()
+		m.Ctx = ctx
+	}
+	if err := m.Run(o.entry); err != nil {
+		return fmt.Errorf("profile run: %w", err)
+	}
+	rep, err := profile.Build("", prog,
+		map[string]map[*cdfg.Block]uint64{model: m.BlockCounts},
+		map[string]map[*cdfg.Block]core.Estimate{model: est})
+	if err != nil {
+		return err
+	}
+	if o.profileJSON != "" {
+		data, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		if o.profileJSON == "-" {
+			fmt.Println(string(data))
+		} else if err := os.WriteFile(o.profileJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if o.profile {
+		fmt.Print(rep.Text(o.top))
 	}
 	return nil
 }

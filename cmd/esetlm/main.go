@@ -12,6 +12,13 @@
 //	-calibrate                  calibrate the PUM on the training workload
 //	-graph                      print the process/channel structure (Fig. 6)
 //	-gen                        emit the standalone Go TLM source and exit
+//	-vcd FILE                   write a VCD activity waveform (timed engine)
+//	-trace-json FILE            write a Chrome trace_event timeline
+//	                            (Perfetto-loadable; timed engine)
+//	-profile                    print the ranked cycle-attribution report
+//	                            (timed engine)
+//	-profile-json FILE          write the attribution report as JSON
+//	-top N                      rows shown by -profile (default 20)
 //	-timeout D                  wall-clock watchdog for the simulation
 //
 // Exit codes: 0 success, 1 runtime failure (including timeout), 2 usage or
@@ -19,14 +26,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"ese"
+	"ese/internal/cdfg"
 	"ese/internal/cli"
 	"ese/internal/core"
+	"ese/internal/profile"
 	"ese/internal/tlm"
 	"ese/internal/trace"
 )
@@ -41,13 +51,42 @@ func main() {
 	graph := flag.Bool("graph", false, "print the process graph and exit")
 	gen := flag.Bool("gen", false, "emit the standalone TLM source and exit")
 	vcd := flag.String("vcd", "", "write a VCD activity waveform to this file (timed engine)")
+	traceJSON := flag.String("trace-json", "", "write a Chrome trace_event timeline to this file (timed engine)")
+	profileFlag := flag.Bool("profile", false, "print the cycle-attribution report (timed engine)")
+	profileJSON := flag.String("profile-json", "", "write the attribution report as JSON to this file (\"-\" = stdout)")
+	top := flag.Int("top", 20, "rows shown by -profile (0 = all)")
 	timeout := flag.Duration("timeout", 0, "wall-clock watchdog for the simulation (0 = none)")
 	flag.Parse()
 
-	cli.Fail("esetlm", run(*design, *frames, *icache, *dcache, *engine, *calibrate, *graph, *gen, *vcd, *timeout))
+	cli.Fail("esetlm", run(runCfg{
+		design: *design, frames: *frames, icache: *icache, dcache: *dcache,
+		engine: *engine, calibrate: *calibrate, graph: *graph, gen: *gen,
+		vcdPath: *vcd, traceJSON: *traceJSON,
+		profile: *profileFlag, profileJSON: *profileJSON, top: *top,
+		timeout: *timeout,
+	}))
 }
 
-func run(design string, frames, icache, dcache int, engine string, calibrate, graph, gen bool, vcdPath string, timeout time.Duration) error {
+// runCfg bundles the flag values.
+type runCfg struct {
+	design         string
+	frames         int
+	icache, dcache int
+	engine         string
+	calibrate      bool
+	graph, gen     bool
+	vcdPath        string
+	traceJSON      string
+	profile        bool
+	profileJSON    string
+	top            int
+	timeout        time.Duration
+}
+
+func run(cfgFlags runCfg) error {
+	design, frames, icache, dcache := cfgFlags.design, cfgFlags.frames, cfgFlags.icache, cfgFlags.dcache
+	engine, calibrate, graph, gen := cfgFlags.engine, cfgFlags.calibrate, cfgFlags.graph, cfgFlags.gen
+	vcdPath, timeout := cfgFlags.vcdPath, cfgFlags.timeout
 	cfg := ese.MP3Config{Frames: frames, Seed: 0xC0FFEE}
 	mb := ese.MicroBlazePUM()
 	if calibrate {
@@ -92,30 +131,50 @@ func run(design string, frames, icache, dcache int, engine string, calibrate, gr
 	case "timed":
 		pl := ese.NewPipeline(ese.PipelineOptions{Timeout: timeout})
 		defer cli.PrintDiags("esetlm", pl.Diagnostics())
-		var res *ese.TLMResult
-		var err error
-		if vcdPath != "" {
-			v := trace.New()
-			res, err = pl.Simulate(d, tlm.Options{
-				Timed:    true,
-				WaitMode: tlm.WaitAtTransactions,
-				Detail:   core.FullDetail,
-				Trace:    v,
-			})
-			if err == nil {
-				if werr := os.WriteFile(vcdPath, []byte(v.Render()), 0o644); werr != nil {
-					return werr
-				}
-				fmt.Printf("wrote waveform to %s\n", vcdPath)
-			}
-		} else {
-			res, err = pl.RunTimed(d)
+		doProfile := cfgFlags.profile || cfgFlags.profileJSON != ""
+		opts := tlm.Options{
+			Timed:    true,
+			WaitMode: tlm.WaitAtTransactions,
+			Detail:   core.FullDetail,
+			Profile:  doProfile,
 		}
+		var v *trace.VCD
+		if vcdPath != "" {
+			v = trace.New()
+			opts.Trace = v
+		}
+		var ev *trace.Events
+		if cfgFlags.traceJSON != "" {
+			ev = trace.NewEvents()
+			opts.Events = ev
+		}
+		res, err := pl.Simulate(d, opts)
 		if err != nil {
 			return err
 		}
+		if v != nil {
+			if werr := os.WriteFile(vcdPath, []byte(v.Render()), 0o644); werr != nil {
+				return werr
+			}
+			fmt.Printf("wrote waveform to %s\n", vcdPath)
+		}
+		if ev != nil {
+			data, jerr := ev.RenderJSON()
+			if jerr != nil {
+				return jerr
+			}
+			if werr := os.WriteFile(cfgFlags.traceJSON, append(data, '\n'), 0o644); werr != nil {
+				return werr
+			}
+			fmt.Printf("wrote trace timeline to %s (%d events)\n", cfgFlags.traceJSON, ev.Len())
+		}
 		fmt.Printf("annotation time: %v\n", res.AnnoTime.Round(time.Microsecond))
 		printTLM(res, d)
+		if doProfile {
+			if err := writeProfile(pl, d, res, cfgFlags); err != nil {
+				return err
+			}
+		}
 	case "board":
 		res, err := ese.RunBoard(d)
 		if err != nil {
@@ -135,6 +194,41 @@ func run(design string, frames, icache, dcache int, engine string, calibrate, gr
 		}
 	default:
 		return cli.Input(fmt.Errorf("unknown engine %q", engine))
+	}
+	return nil
+}
+
+// writeProfile joins the timed run's per-process block execution counts
+// with each PE's annotation into the ranked cycle-attribution report.
+// The annotations go through the pipeline's cache, so they are the very
+// estimates the run was timed with — the report totals reconcile bit for
+// bit with the simulated per-PE cycle counts.
+func writeProfile(pl *ese.Pipeline, d *ese.Design, res *ese.TLMResult, cfgFlags runCfg) error {
+	est := make(map[string]map[*cdfg.Block]core.Estimate, len(d.PEs))
+	for _, pe := range d.PEs {
+		a, err := pl.AnnotateDetailCtx(context.Background(), d.Program, pe.PUM, core.FullDetail)
+		if err != nil {
+			return err
+		}
+		est[pe.Name] = a.Est
+	}
+	rep, err := profile.Build(d.Name, d.Program, res.BlockCountsByPE, est)
+	if err != nil {
+		return err
+	}
+	if cfgFlags.profileJSON != "" {
+		data, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		if cfgFlags.profileJSON == "-" {
+			fmt.Println(string(data))
+		} else if err := os.WriteFile(cfgFlags.profileJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if cfgFlags.profile {
+		fmt.Print(rep.Text(cfgFlags.top))
 	}
 	return nil
 }

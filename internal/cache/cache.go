@@ -28,26 +28,45 @@ type Cache struct {
 	Misses   uint64
 }
 
-// New builds a cache; a zero-size config returns a cache where every
+// New builds a cache; a non-positive size returns a cache where every
 // access misses (the uncached configuration).
+//
+// Degenerate configurations are normalized rather than trusted verbatim,
+// so the allocated geometry never exceeds the configured size and the
+// address decomposition always agrees with the capacity math:
+//
+//   - a non-positive or non-power-of-two LineBytes is replaced by
+//     DefaultLine / rounded down to the previous power of two (the line
+//     shift `lineBits` and the Size/LineBytes capacity division would
+//     otherwise disagree, aliasing distinct lines onto one set+tag);
+//   - LineBytes is clamped to at most the previous power of two of Size,
+//     so even a tiny cache holds at least one full line within budget;
+//   - a non-positive Assoc becomes direct-mapped (1), and Assoc is
+//     clamped to the total line count — a Size smaller than
+//     LineBytes*Assoc used to silently allocate a 1-set × Assoc-way
+//     cache *larger* than configured.
+//
+// The effective geometry is readable via Config().
 func New(cfg Config) *Cache {
-	c := &Cache{cfg: cfg}
-	if cfg.Size == 0 {
-		return c
+	if cfg.Size <= 0 {
+		return &Cache{cfg: Config{Size: 0, LineBytes: 0, Assoc: 0}}
 	}
-	if cfg.LineBytes == 0 {
+	if cfg.LineBytes <= 0 {
 		cfg.LineBytes = DefaultLine
-		c.cfg.LineBytes = DefaultLine
 	}
-	if cfg.Assoc == 0 {
+	cfg.LineBytes = prevPow2(cfg.LineBytes)
+	if cfg.LineBytes > cfg.Size {
+		cfg.LineBytes = prevPow2(cfg.Size)
+	}
+	if cfg.Assoc <= 0 {
 		cfg.Assoc = 1
-		c.cfg.Assoc = 1
 	}
-	lines := cfg.Size / cfg.LineBytes
+	lines := cfg.Size / cfg.LineBytes // >= 1 after the clamps above
+	if cfg.Assoc > lines {
+		cfg.Assoc = lines
+	}
+	c := &Cache{cfg: cfg}
 	c.sets = lines / cfg.Assoc
-	if c.sets == 0 {
-		c.sets = 1
-	}
 	for lb := cfg.LineBytes; lb > 1; lb >>= 1 {
 		c.lineBits++
 	}
@@ -61,6 +80,21 @@ func New(cfg Config) *Cache {
 	}
 	return c
 }
+
+// prevPow2 returns the largest power of two <= v (v must be >= 1).
+func prevPow2(v int) int {
+	p := 1
+	for p <= v/2 {
+		p <<= 1
+	}
+	return p
+}
+
+// Config returns the effective (normalized) configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Capacity returns the allocated capacity in bytes (sets × ways × line).
+func (c *Cache) Capacity() int { return c.sets * c.cfg.Assoc * c.cfg.LineBytes }
 
 // Enabled reports whether the cache holds any lines.
 func (c *Cache) Enabled() bool { return c.sets > 0 }

@@ -1,0 +1,134 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestNewNormalizesDegenerateConfigs pins the normalization contract of
+// New: the allocated geometry never exceeds the configured size, lines are
+// always a power of two (so the lineBits shift agrees with the capacity
+// division), and every degenerate input yields a usable cache. The
+// "undersized" and "non-pow2 line" rows fail on the pre-normalization
+// code: Size < LineBytes*Assoc silently allocated a 1-set × Assoc-way
+// cache larger than configured, and a non-power-of-two LineBytes made the
+// line shift disagree with Size/LineBytes.
+func TestNewNormalizesDegenerateConfigs(t *testing.T) {
+	tests := []struct {
+		name     string
+		cfg      Config
+		wantCfg  Config // effective config after normalization
+		wantSets int
+	}{
+		{
+			name:     "well-formed",
+			cfg:      Config{Size: 1024, LineBytes: 16, Assoc: 2},
+			wantCfg:  Config{Size: 1024, LineBytes: 16, Assoc: 2},
+			wantSets: 32,
+		},
+		{
+			name: "undersized for assoc",
+			// 64B with 16B lines holds 4 lines; 8 ways cannot fit — clamp
+			// to fully associative over the 4 real lines.
+			cfg:      Config{Size: 64, LineBytes: 16, Assoc: 8},
+			wantCfg:  Config{Size: 64, LineBytes: 16, Assoc: 4},
+			wantSets: 1,
+		},
+		{
+			name: "size smaller than one line",
+			// 8B budget with 16B lines: shrink the line to fit the budget.
+			cfg:      Config{Size: 8, LineBytes: 16, Assoc: 1},
+			wantCfg:  Config{Size: 8, LineBytes: 8, Assoc: 1},
+			wantSets: 1,
+		},
+		{
+			name: "non-power-of-two line",
+			// 24B lines round down to 16B so the shift and the division
+			// agree.
+			cfg:      Config{Size: 256, LineBytes: 24, Assoc: 1},
+			wantCfg:  Config{Size: 256, LineBytes: 16, Assoc: 1},
+			wantSets: 16,
+		},
+		{
+			name:     "zero line and assoc",
+			cfg:      Config{Size: 256, LineBytes: 0, Assoc: 0},
+			wantCfg:  Config{Size: 256, LineBytes: DefaultLine, Assoc: 1},
+			wantSets: 16,
+		},
+		{
+			name:     "negative line and assoc",
+			cfg:      Config{Size: 256, LineBytes: -8, Assoc: -3},
+			wantCfg:  Config{Size: 256, LineBytes: DefaultLine, Assoc: 1},
+			wantSets: 16,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := New(tt.cfg)
+			if got := c.Config(); got != tt.wantCfg {
+				t.Errorf("Config() = %+v, want %+v", got, tt.wantCfg)
+			}
+			if c.sets != tt.wantSets {
+				t.Errorf("sets = %d, want %d", c.sets, tt.wantSets)
+			}
+			if cap := c.Capacity(); cap > tt.cfg.Size {
+				t.Errorf("capacity %dB exceeds configured %dB", cap, tt.cfg.Size)
+			}
+			if !c.Enabled() {
+				t.Error("normalized cache not enabled")
+			}
+			// The cache must behave: repeat access hits.
+			c.Access(0x40)
+			if !c.Access(0x40) {
+				t.Error("repeat access missed after normalization")
+			}
+		})
+	}
+}
+
+func TestNewDisabledConfigs(t *testing.T) {
+	for _, cfg := range []Config{{}, {Size: -64, LineBytes: 16, Assoc: 2}} {
+		c := New(cfg)
+		if c.Enabled() {
+			t.Errorf("New(%+v) enabled, want disabled", cfg)
+		}
+		if c.Access(0x10) {
+			t.Errorf("New(%+v): access hit in disabled cache", cfg)
+		}
+		if c.Capacity() != 0 {
+			t.Errorf("New(%+v): capacity = %d, want 0", cfg, c.Capacity())
+		}
+	}
+}
+
+// TestPropertyNormalizedGeometry checks the normalization invariants over
+// arbitrary configurations: capacity within budget, power-of-two line
+// size, shift/capacity agreement, and no panic on any input.
+func TestPropertyNormalizedGeometry(t *testing.T) {
+	f := func(size int16, line int8, assoc int8) bool {
+		cfg := Config{Size: int(size), LineBytes: int(line), Assoc: int(assoc)}
+		c := New(cfg)
+		if cfg.Size <= 0 {
+			return !c.Enabled()
+		}
+		eff := c.Config()
+		// Line size is a power of two within the budget.
+		if eff.LineBytes < 1 || eff.LineBytes&(eff.LineBytes-1) != 0 || eff.LineBytes > eff.Size {
+			return false
+		}
+		// The shift agrees with the line size.
+		if 1<<c.lineBits != eff.LineBytes {
+			return false
+		}
+		// Allocated capacity never exceeds the configured size.
+		if c.Capacity() > cfg.Size || c.Capacity() < 1 {
+			return false
+		}
+		// Determinism of the decomposition: repeat access hits.
+		c.Access(0xDEAD)
+		return c.Access(0xDEAD)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -120,17 +120,23 @@ func ComposeEstimate(sr SchedResult, p *pum.PUM, detail Detail) Estimate {
 	}
 	if detail.PipelineOverlap && e.Ops > 0 {
 		// Remove the per-block pipeline fill that back-to-back execution
-		// hides, but never go below the issue-rate lower bound.
-		fill := len(p.Pipelines[0].Stages)
+		// hides, but never go below the issue-rate lower bound. A partial
+		// model (e.g. JSON-loaded without pipelines, or with zero issue
+		// widths) has no fill to compensate: keep the unadjusted schedule
+		// rather than indexing an empty pipeline list or dividing by a
+		// zero total issue width.
 		width := 0
 		for _, pl := range p.Pipelines {
 			width += pl.IssueWidth
 		}
-		floor := (e.Ops + width - 1) / width
-		if s := e.Sched - fill; s >= floor {
-			e.Sched = s
-		} else {
-			e.Sched = floor
+		if len(p.Pipelines) > 0 && width > 0 {
+			fill := len(p.Pipelines[0].Stages)
+			floor := (e.Ops + width - 1) / width
+			if s := e.Sched - fill; s >= floor {
+				e.Sched = s
+			} else {
+				e.Sched = floor
+			}
 		}
 	}
 	if detail.Branch && p.Pipelined && sr.CondBr {

@@ -9,6 +9,7 @@ import (
 
 	"ese/internal/cdfg"
 	"ese/internal/diag"
+	"ese/internal/metrics"
 	"ese/internal/pum"
 )
 
@@ -39,6 +40,7 @@ type CacheStats struct {
 	SchedMisses uint64 // Algorithm 1 results computed
 	EstHits     uint64 // full estimates served from cache
 	EstMisses   uint64 // full estimates composed
+	Evictions   uint64 // entries dropped by the bounded cache (0 if unbounded)
 }
 
 // Cache is a content-addressed store of schedule results and estimates,
@@ -51,26 +53,43 @@ type Cache struct {
 	mu    sync.RWMutex
 	sched map[schedKey]SchedResult
 	est   map[estKey]Estimate
+	// limit bounds each map's entry count; 0 means unbounded. When a put
+	// would exceed the bound, one resident entry is dropped (random, via
+	// map iteration order — content-addressed entries are equally cheap to
+	// recompute, so the victim choice only affects hit rate, not results).
+	limit int
 
 	schedHits, schedMisses atomic.Uint64
 	estHits, estMisses     atomic.Uint64
+	evictions              atomic.Uint64
 }
 
-// NewCache returns an empty schedule/estimate cache.
+// NewCache returns an empty, unbounded schedule/estimate cache.
 func NewCache() *Cache {
+	return NewCacheLimit(0)
+}
+
+// NewCacheLimit returns a cache holding at most maxEntries schedule
+// results and maxEntries estimates; maxEntries <= 0 means unbounded.
+func NewCacheLimit(maxEntries int) *Cache {
+	if maxEntries < 0 {
+		maxEntries = 0
+	}
 	return &Cache{
 		sched: make(map[schedKey]SchedResult),
 		est:   make(map[estKey]Estimate),
+		limit: maxEntries,
 	}
 }
 
-// Stats returns a snapshot of the hit/miss counters.
+// Stats returns a snapshot of the hit/miss/eviction counters.
 func (c *Cache) Stats() CacheStats {
 	return CacheStats{
 		SchedHits:   c.schedHits.Load(),
 		SchedMisses: c.schedMisses.Load(),
 		EstHits:     c.estHits.Load(),
 		EstMisses:   c.estMisses.Load(),
+		Evictions:   c.evictions.Load(),
 	}
 }
 
@@ -95,6 +114,15 @@ func (c *Cache) schedGet(k schedKey) (SchedResult, bool) {
 
 func (c *Cache) schedPut(k schedKey, sr SchedResult) {
 	c.mu.Lock()
+	if c.limit > 0 && len(c.sched) >= c.limit {
+		if _, resident := c.sched[k]; !resident {
+			for victim := range c.sched {
+				delete(c.sched, victim)
+				c.evictions.Add(1)
+				break
+			}
+		}
+	}
 	c.sched[k] = sr
 	c.mu.Unlock()
 }
@@ -113,6 +141,15 @@ func (c *Cache) estGet(k estKey) (Estimate, bool) {
 
 func (c *Cache) estPut(k estKey, e Estimate) {
 	c.mu.Lock()
+	if c.limit > 0 && len(c.est) >= c.limit {
+		if _, resident := c.est[k]; !resident {
+			for victim := range c.est {
+				delete(c.est, victim)
+				c.evictions.Add(1)
+				break
+			}
+		}
+	}
 	c.est[k] = e
 	c.mu.Unlock()
 }
@@ -136,6 +173,10 @@ type EstOptions struct {
 	// Diags, when non-nil, receives a Warning diagnostic for every
 	// degraded block (and the Error diagnostics of strict mode).
 	Diags *diag.List
+	// Metrics, when non-nil, receives worker-pool counters per call:
+	// blocks estimated, the queue depth fan-out, and the per-worker block
+	// distribution.
+	Metrics *metrics.Registry
 }
 
 // fallback returns the effective fallback latency.
@@ -227,6 +268,11 @@ func EstimateBlocksCtx(ctx context.Context, prog *cdfg.Program, p *pum.PUM, deta
 	if workers > n {
 		workers = n
 	}
+	if opts.Metrics != nil {
+		opts.Metrics.Counter("est.blocks").Add(uint64(n))
+		opts.Metrics.Gauge("est.pool.workers").Set(int64(workers))
+		opts.Metrics.Gauge("est.pool.queue.max").SetMax(int64(n))
+	}
 	res := make([]Estimate, n)
 	var canceled atomic.Bool
 	if workers <= 1 {
@@ -238,6 +284,9 @@ func EstimateBlocksCtx(ctx context.Context, prog *cdfg.Program, p *pum.PUM, deta
 			}
 			res[i] = estimate(s, w.b)
 		}
+		if opts.Metrics != nil {
+			opts.Metrics.Histogram("est.pool.worker.blocks").Observe(float64(n))
+		}
 	} else {
 		var next atomic.Int64
 		var wg sync.WaitGroup
@@ -246,19 +295,24 @@ func EstimateBlocksCtx(ctx context.Context, prog *cdfg.Program, p *pum.PUM, deta
 			go func() {
 				defer wg.Done()
 				s := NewSchedulerFallback(p, fallback)
+				done := 0
 				for {
 					if canceled.Load() {
-						return
+						break
 					}
 					if diag.FromContext(ctx) != nil {
 						canceled.Store(true)
-						return
+						break
 					}
 					i := int(next.Add(1)) - 1
 					if i >= n {
-						return
+						break
 					}
 					res[i] = estimate(s, blocks[i].b)
+					done++
+				}
+				if opts.Metrics != nil {
+					opts.Metrics.Histogram("est.pool.worker.blocks").Observe(float64(done))
 				}
 			}()
 		}

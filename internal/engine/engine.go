@@ -30,6 +30,7 @@ import (
 	"ese/internal/cfront"
 	"ese/internal/core"
 	"ese/internal/diag"
+	"ese/internal/metrics"
 	"ese/internal/platform"
 	"ese/internal/pum"
 	"ese/internal/tlm"
@@ -45,6 +46,10 @@ type Options struct {
 	Workers int
 	// NoCache disables schedule/estimate memoization.
 	NoCache bool
+	// CacheLimit bounds the schedule and estimate maps to that many
+	// entries each (random-replacement beyond it, counted as evictions);
+	// zero or negative means unbounded.
+	CacheLimit int
 	// Detail selects the PUM sub-models Annotate applies; nil means
 	// core.FullDetail (the paper's full Algorithm 2). AnnotateDetail
 	// overrides it per call.
@@ -81,10 +86,11 @@ type Stats struct {
 // or retargeting the statistical models still hits. Safe for concurrent
 // use by multiple goroutines.
 type Pipeline struct {
-	opts   Options
-	detail core.Detail
-	cache  *core.Cache
-	diags  diag.List
+	opts    Options
+	detail  core.Detail
+	cache   *core.Cache
+	diags   diag.List
+	metrics *metrics.Registry
 
 	unmappedOps    atomic.Uint64
 	degradedBlocks atomic.Uint64
@@ -92,12 +98,12 @@ type Pipeline struct {
 
 // New constructs a pipeline with the given options.
 func New(opts Options) *Pipeline {
-	pl := &Pipeline{opts: opts, detail: core.FullDetail}
+	pl := &Pipeline{opts: opts, detail: core.FullDetail, metrics: metrics.NewRegistry()}
 	if opts.Detail != nil {
 		pl.detail = *opts.Detail
 	}
 	if !opts.NoCache {
-		pl.cache = core.NewCache()
+		pl.cache = core.NewCacheLimit(opts.CacheLimit)
 	}
 	return pl
 }
@@ -123,6 +129,39 @@ func (pl *Pipeline) Stats() Stats {
 // pipeline (degraded blocks, cancellations, contained panics).
 func (pl *Pipeline) Diagnostics() *diag.List { return &pl.diags }
 
+// Metrics returns the pipeline's metric registry: per-stage wall-clock
+// histograms ("pipeline.stage.<stage>.seconds"), the annotation pool's
+// counters ("est.*"), and — when the pipeline simulates — the TLM's
+// counters ("tlm.*", "sim.*"). See DESIGN.md, "Observability".
+func (pl *Pipeline) Metrics() *metrics.Registry { return pl.metrics }
+
+// MetricsSnapshot returns a point-in-time view of every pipeline metric,
+// folding in the schedule/estimate cache counters ("cache.*") and the
+// graceful-degradation tallies so one call captures the whole picture.
+func (pl *Pipeline) MetricsSnapshot() metrics.Snapshot {
+	snap := pl.metrics.Snapshot()
+	if pl.cache != nil {
+		cs := pl.cache.Stats()
+		snap.Counters["cache.sched.hits"] = cs.SchedHits
+		snap.Counters["cache.sched.misses"] = cs.SchedMisses
+		snap.Counters["cache.est.hits"] = cs.EstHits
+		snap.Counters["cache.est.misses"] = cs.EstMisses
+		snap.Counters["cache.evictions"] = cs.Evictions
+		sched, est := pl.cache.Len()
+		snap.Gauges["cache.entries.sched"] = int64(sched)
+		snap.Gauges["cache.entries.est"] = int64(est)
+	}
+	snap.Counters["degrade.unmapped_ops"] = pl.unmappedOps.Load()
+	snap.Counters["degrade.blocks"] = pl.degradedBlocks.Load()
+	return snap
+}
+
+// timeStage records one stage execution into the registry.
+func (pl *Pipeline) timeStage(stage diag.Stage, start time.Time) {
+	pl.metrics.Histogram("pipeline.stage." + string(stage) + ".seconds").
+		Observe(time.Since(start).Seconds())
+}
+
 // estOpts bundles the pipeline's worker bound, cache, degradation policy
 // and diagnostic sink for the core estimator.
 func (pl *Pipeline) estOpts() core.EstOptions {
@@ -132,6 +171,7 @@ func (pl *Pipeline) estOpts() core.EstOptions {
 		Strict:         pl.opts.Strict,
 		FallbackCycles: pl.opts.FallbackCycles,
 		Diags:          &pl.diags,
+		Metrics:        pl.metrics,
 	}
 }
 
@@ -214,7 +254,9 @@ func (pl *Pipeline) CompileCtx(ctx context.Context, name, src string) (*cdfg.Pro
 	for _, s := range stages {
 		err := diag.FromContext(ctx)
 		if err == nil {
+			start := time.Now()
 			err = diag.Guard(s.stage, s.run)
+			pl.timeStage(s.stage, start)
 		}
 		if err != nil {
 			d := diag.Diagnostic{Severity: diag.Error, Stage: s.stage, Msg: err.Error(), Err: err}
@@ -238,7 +280,9 @@ func (pl *Pipeline) Annotate(prog *cdfg.Program, p *pum.PUM) *annotate.Annotated
 // AnnotateDetail is Annotate with an explicit detail level (used by the
 // PUM-detail ablation).
 func (pl *Pipeline) AnnotateDetail(prog *cdfg.Program, p *pum.PUM, detail core.Detail) *annotate.Annotated {
+	start := time.Now()
 	a := annotate.AnnotateWith(prog, p, detail, pl.estOpts())
+	pl.timeStage(diag.StageAnnotate, start)
 	pl.recordDegradation(a)
 	return a
 }
@@ -257,10 +301,12 @@ func (pl *Pipeline) AnnotateDetailCtx(ctx context.Context, prog *cdfg.Program, p
 	ctx, cancel := pl.withTimeout(ctx)
 	defer cancel()
 	var a *annotate.Annotated
+	start := time.Now()
 	err := diag.Guard(diag.StageAnnotate, func() (err error) {
 		a, err = annotate.AnnotateCtx(ctx, prog, p, detail, pl.estOpts())
 		return
 	})
+	pl.timeStage(diag.StageAnnotate, start)
 	if err != nil {
 		// The core estimator records cancellation and strict-mode errors in
 		// the shared diagnostic list itself; only contained panics need to
@@ -327,11 +373,16 @@ func (pl *Pipeline) SimulateCtx(ctx context.Context, d *platform.Design, opts tl
 	if opts.Ctx == nil {
 		opts.Ctx = ctx
 	}
+	if opts.Metrics == nil {
+		opts.Metrics = pl.metrics
+	}
 	var res *tlm.Result
+	start := time.Now()
 	err := diag.Guard(diag.StageSimulate, func() (err error) {
 		res, err = tlm.Run(d, opts)
 		return
 	})
+	pl.timeStage(diag.StageSimulate, start)
 	if err != nil {
 		pl.diags.AddError(diag.StageSimulate, err)
 	}

@@ -47,6 +47,11 @@ type Machine struct {
 	// annotated delay. A non-nil return aborts execution with that error.
 	OnBlock func(b *cdfg.Block) error
 
+	// BlockCounts, when non-nil, accumulates how many times each basic
+	// block executed — the raw data of the cycle-attribution profiler.
+	// Enable with EnableProfile before Run.
+	BlockCounts map[*cdfg.Block]uint64
+
 	// Ctx, when non-nil, bounds execution: the step loop checks it every
 	// few thousand instructions and aborts with diag.ErrCanceled or
 	// diag.ErrDeadline, so an infinite-loop program cannot wedge the
@@ -74,7 +79,14 @@ func New(prog *cdfg.Program) *Machine {
 	return m
 }
 
-// Reset re-initializes globals, the out stream and the step counter.
+// EnableProfile turns on per-block execution counting (idempotent).
+func (m *Machine) EnableProfile() {
+	if m.BlockCounts == nil {
+		m.BlockCounts = make(map[*cdfg.Block]uint64)
+	}
+}
+
+// Reset re-initializes globals, the out stream and the counters.
 func (m *Machine) Reset() {
 	for i, g := range m.Prog.Globals {
 		buf := m.Globals[i]
@@ -86,6 +98,9 @@ func (m *Machine) Reset() {
 	m.Out = m.Out[:0]
 	m.Steps = 0
 	m.ctxCountdown = 0
+	for b := range m.BlockCounts {
+		delete(m.BlockCounts, b)
+	}
 }
 
 // Run executes the named entry function with no arguments.
@@ -177,6 +192,9 @@ func (m *Machine) runtimeErr(pos cfront.Pos, format string, args ...any) error {
 func (m *Machine) exec(fn *cdfg.Function, f *frame) (int32, error) {
 	b := fn.Entry()
 	for {
+		if m.BlockCounts != nil {
+			m.BlockCounts[b]++
+		}
 		if m.OnBlock != nil {
 			if err := m.OnBlock(b); err != nil {
 				return 0, err

@@ -1,0 +1,310 @@
+// Package metrics is the dependency-free instrumentation substrate of the
+// estimation pipeline: goroutine-safe counters, gauges and histograms
+// collected in a Registry and read out as an immutable Snapshot. It exists
+// so the pipeline, the schedule/estimate cache, the annotation worker pool
+// and the simulation kernel can report where cycles and wall-clock go
+// without pulling an external metrics dependency into the estimator.
+//
+// Design constraints (in priority order):
+//
+//  1. Hot-path writes are lock-free (a single atomic add); histogram
+//     observations take one short mutex but are only issued at stage
+//     granularity, never per IR instruction.
+//  2. A nil *Registry is a valid no-op sink: every accessor returns a nil
+//     instrument whose methods do nothing, so instrumented code needs no
+//     nil checks and disabling metrics costs one predictable branch.
+//  3. Snapshot is consistent per instrument (each value is read atomically)
+//     and deterministic in rendering order (sorted names).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing uint64 instrument.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n. Safe on a nil receiver.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one. Safe on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous int64 instrument (queue depths, pool sizes).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value. Safe on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by delta (negative to decrease). Safe on nil.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// SetMax raises the gauge to v if v is larger (monotone high-water mark).
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram aggregates a stream of float64 observations: count, sum, min,
+// max. It deliberately stores no per-bucket state — the pipeline needs
+// "how long did N annotate calls take in total / at worst", not a full
+// distribution, and the aggregate form keeps Observe cheap.
+type Histogram struct {
+	mu    sync.Mutex
+	count uint64
+	sum   float64
+	min   float64
+	max   float64
+}
+
+// Observe records one observation. Safe on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a duration in seconds. Safe on a nil receiver.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// stat reads the aggregate under the lock.
+func (h *Histogram) stat() HistStat {
+	if h == nil {
+		return HistStat{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistStat{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+}
+
+// HistStat is the snapshot form of a Histogram.
+type HistStat struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+}
+
+// Mean returns Sum/Count (0 when empty).
+func (s HistStat) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Registry is a named collection of instruments. Instruments are created
+// on first access and live for the registry's lifetime; looking one up
+// twice returns the same instrument. Safe for concurrent use. The zero
+// value is NOT usable — construct with NewRegistry — but a nil *Registry
+// is a valid no-op sink.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it if needed. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed. A nil registry
+// returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it if needed. A nil
+// registry returns a nil (no-op) histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every instrument's value. Values of
+// one instrument are internally consistent (read atomically / under the
+// instrument lock); across instruments the snapshot is only as consistent
+// as concurrent writers allow, which is the usual contract of a live
+// metrics endpoint.
+type Snapshot struct {
+	Counters   map[string]uint64   `json:"counters,omitempty"`
+	Gauges     map[string]int64    `json:"gauges,omitempty"`
+	Histograms map[string]HistStat `json:"histograms,omitempty"`
+}
+
+// Snapshot copies out every instrument. A nil registry yields an empty
+// snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistStat{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.stat()
+	}
+	return s
+}
+
+// String renders the snapshot as sorted "name value" lines, one per
+// instrument — deterministic, diff-friendly output for CLIs and logs.
+func (s Snapshot) String() string {
+	var sb strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&sb, "%-40s %d\n", n, s.Counters[n])
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&sb, "%-40s %d\n", n, s.Gauges[n])
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		fmt.Fprintf(&sb, "%-40s count=%d sum=%s min=%s max=%s mean=%s\n",
+			n, h.Count, fmtF(h.Sum), fmtF(h.Min), fmtF(h.Max), fmtF(h.Mean()))
+	}
+	return sb.String()
+}
+
+// fmtF renders a float compactly (6 significant digits, no trailing zeros).
+func fmtF(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.6g", v)
+}

@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSnapshotConsistencyConcurrent hammers one registry from many writer
+// goroutines while a reader snapshots continuously, then verifies the final
+// snapshot holds exactly the written totals. Run under -race this is also
+// the data-race proof for the whole package.
+func TestSnapshotConsistencyConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const (
+		writers = 8
+		perW    = 5000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Continuous reader: snapshots must never observe torn values; under
+	// -race this also exercises the map-access paths.
+	var rdr sync.WaitGroup
+	rdr.Add(1)
+	go func() {
+		defer rdr.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := r.Snapshot()
+			if c, ok := s.Counters["work.done"]; ok && c > writers*perW {
+				t.Errorf("snapshot counter overshoot: %d", c)
+				return
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("work.done")
+			g := r.Gauge("work.depth")
+			hw := r.Gauge("work.highwater")
+			h := r.Histogram("work.seconds")
+			for i := 0; i < perW; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				hw.SetMax(int64(w*perW + i))
+				h.Observe(float64(i % 10))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	rdr.Wait()
+
+	s := r.Snapshot()
+	if got := s.Counters["work.done"]; got != writers*perW {
+		t.Errorf("counter = %d, want %d", got, writers*perW)
+	}
+	if got := s.Gauges["work.depth"]; got < 0 || got >= perW {
+		t.Errorf("gauge = %d, want in [0,%d)", got, perW)
+	}
+	if got := s.Gauges["work.highwater"]; got != writers*perW-1 {
+		t.Errorf("high-water gauge = %d, want %d", got, writers*perW-1)
+	}
+	h := s.Histograms["work.seconds"]
+	if h.Count != writers*perW {
+		t.Errorf("histogram count = %d, want %d", h.Count, writers*perW)
+	}
+	if h.Min != 0 || h.Max != 9 {
+		t.Errorf("histogram min/max = %v/%v, want 0/9", h.Min, h.Max)
+	}
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Add(5)
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(7)
+	r.Gauge("y").Add(-2)
+	r.Gauge("y").SetMax(99)
+	r.Histogram("z").Observe(1.5)
+	r.Histogram("z").ObserveDuration(time.Second)
+	if v := r.Counter("x").Value(); v != 0 {
+		t.Errorf("nil counter value = %d", v)
+	}
+	if v := r.Gauge("y").Value(); v != 0 {
+		t.Errorf("nil gauge value = %d", v)
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Errorf("nil snapshot not empty: %+v", s)
+	}
+	if s.String() != "" {
+		t.Errorf("nil snapshot renders %q", s.String())
+	}
+}
+
+func TestInstrumentIdentityAndValues(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("same-name counters are distinct instruments")
+	}
+	if r.Gauge("a") == nil || r.Histogram("a") == nil {
+		t.Error("gauge/histogram under a counter's name must coexist")
+	}
+	r.Counter("a").Add(3)
+	r.Gauge("a").Set(-4)
+	r.Histogram("a").Observe(2)
+	r.Histogram("a").Observe(8)
+	s := r.Snapshot()
+	if s.Counters["a"] != 3 || s.Gauges["a"] != -4 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	h := s.Histograms["a"]
+	if h.Count != 2 || h.Sum != 10 || h.Min != 2 || h.Max != 8 || h.Mean() != 5 {
+		t.Errorf("hist stat = %+v", h)
+	}
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	g := NewRegistry().Gauge("hw")
+	g.SetMax(5)
+	g.SetMax(3)
+	if g.Value() != 5 {
+		t.Errorf("SetMax lowered the high-water mark: %d", g.Value())
+	}
+	g.SetMax(9)
+	if g.Value() != 9 {
+		t.Errorf("SetMax did not raise: %d", g.Value())
+	}
+}
+
+func TestSnapshotRenderDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(2)
+	r.Counter("a.count").Add(1)
+	r.Gauge("depth").Set(3)
+	r.Histogram("t.seconds").Observe(0.25)
+	s1, s2 := r.Snapshot().String(), r.Snapshot().String()
+	if s1 != s2 {
+		t.Errorf("nondeterministic render:\n%s\nvs\n%s", s1, s2)
+	}
+	// Counters render sorted.
+	if strings.Index(s1, "a.count") > strings.Index(s1, "b.count") {
+		t.Errorf("unsorted render:\n%s", s1)
+	}
+	// Snapshot is JSON-marshalable for the CLIs' -json modes.
+	if _, err := json.Marshal(r.Snapshot()); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+}

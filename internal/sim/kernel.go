@@ -49,6 +49,16 @@ type Kernel struct {
 	// ctxCountdown spaces the context checks (checking every dispatch
 	// would put a lock acquisition on the hot path).
 	ctxCountdown int
+	stats        KernelStats
+}
+
+// KernelStats counts the event loop's work, for observability: how many
+// process wakeups were dispatched, how many event notifications fired, and
+// the high-water mark of the pending queue.
+type KernelStats struct {
+	Dispatches uint64
+	Fires      uint64
+	MaxQueue   int
 }
 
 // ctxCheckInterval is how many queue items the event loop processes
@@ -62,6 +72,9 @@ func NewKernel() *Kernel {
 
 // Now returns the current simulation time.
 func (k *Kernel) Now() Time { return k.now }
+
+// Stats returns the event-loop counters accumulated so far.
+func (k *Kernel) Stats() KernelStats { return k.stats }
 
 // Stop requests that the simulation halt after the currently running process
 // yields. Pending events are discarded.
@@ -100,6 +113,9 @@ func (k *Kernel) schedule(p *Process, delay Time) {
 		item.delta = k.delta + 1
 	}
 	heap.Push(&k.queue, item)
+	if n := k.queue.Len(); n > k.stats.MaxQueue {
+		k.stats.MaxQueue = n
+	}
 }
 
 // scheduleFire enqueues an event firing at now+delay.
@@ -115,6 +131,9 @@ func (k *Kernel) scheduleFire(ev *Event, delay Time) {
 		item.delta = k.delta + 1
 	}
 	heap.Push(&k.queue, item)
+	if n := k.queue.Len(); n > k.stats.MaxQueue {
+		k.stats.MaxQueue = n
+	}
 }
 
 // Run executes the simulation until no further progress is possible, the
@@ -195,6 +214,7 @@ func (k *Kernel) dispatch(p *Process) {
 		// wakeup; the event path owns it now.
 		return
 	}
+	k.stats.Dispatches++
 	k.current = p
 	p.state = stateRunning
 	if !p.started {
@@ -209,6 +229,7 @@ func (k *Kernel) dispatch(p *Process) {
 
 // fire wakes every process currently waiting on ev, in registration order.
 func (k *Kernel) fire(ev *Event) {
+	k.stats.Fires++
 	waiters := ev.waiters
 	ev.waiters = nil
 	ev.pending--

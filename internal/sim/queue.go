@@ -43,6 +43,10 @@ func (q *eventQueue) Pop() any {
 	n := len(old)
 	item := old[n-1]
 	old[n-1] = nil
+	// Clear the stale heap position: a popped item is no longer in the
+	// queue, and leaving the old index behind would silently corrupt the
+	// heap if the item were ever fixed/removed by position after reuse.
+	item.index = -1
 	*q = old[:n-1]
 	return item
 }

@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+)
+
+// TestPopClearsHeapIndex pins the invariant that a dequeued item no longer
+// claims a position in the heap: reusing a popped item whose index still
+// pointed at a live slot would let heap.Fix/heap.Remove corrupt the queue.
+func TestPopClearsHeapIndex(t *testing.T) {
+	q := &eventQueue{}
+	heap.Init(q)
+	items := []*queueItem{
+		{t: 30, seq: 2},
+		{t: 10, seq: 0},
+		{t: 20, seq: 1},
+	}
+	for _, it := range items {
+		heap.Push(q, it)
+	}
+	var lastT Time
+	for i := 0; q.Len() > 0; i++ {
+		it := heap.Pop(q).(*queueItem)
+		if it.index != -1 {
+			t.Fatalf("pop %d: index = %d, want -1", i, it.index)
+		}
+		if it.t < lastT {
+			t.Fatalf("pop %d: time %d out of order (prev %d)", i, it.t, lastT)
+		}
+		lastT = it.t
+	}
+}
+
+// TestQueueOrderingDeterministic checks the (time, delta, seq) ordering the
+// kernel's dispatch determinism rests on.
+func TestQueueOrderingDeterministic(t *testing.T) {
+	q := &eventQueue{}
+	heap.Init(q)
+	in := []*queueItem{
+		{t: 5, delta: 1, seq: 4},
+		{t: 5, delta: 0, seq: 3},
+		{t: 5, delta: 0, seq: 1},
+		{t: 2, delta: 9, seq: 7},
+	}
+	for _, it := range in {
+		heap.Push(q, it)
+	}
+	wantSeq := []uint64{7, 1, 3, 4}
+	for i, want := range wantSeq {
+		it := heap.Pop(q).(*queueItem)
+		if it.seq != want {
+			t.Fatalf("pop %d: seq = %d, want %d", i, it.seq, want)
+		}
+	}
+}

@@ -8,6 +8,8 @@
 package tlm
 
 import (
+	"fmt"
+
 	"ese/internal/platform"
 	"ese/internal/sim"
 	"ese/internal/trace"
@@ -33,12 +35,24 @@ type Bus struct {
 	// Optional waveform tracing.
 	vcd    *trace.VCD
 	busSig *trace.Signal
+
+	// Optional trace_event timeline: one slice per bus transaction.
+	events   *trace.Events
+	busTrack int
 }
 
 // WithTrace attaches a waveform dump; the bus records its busy intervals.
 func (b *Bus) WithTrace(v *trace.VCD) *Bus {
 	b.vcd = v
 	b.busSig = v.Signal("bus_busy")
+	return b
+}
+
+// WithEvents attaches a trace_event timeline; the bus records one slice
+// per transaction, annotated with the channel and word count.
+func (b *Bus) WithEvents(e *trace.Events) *Bus {
+	b.events = e
+	b.busTrack = e.Track("bus")
 	return b
 }
 
@@ -78,8 +92,9 @@ func (b *Bus) chanFor(id int) *channel {
 }
 
 // transferDelay computes the delay from now until the transfer completes,
-// including waiting for the bus to become free, and claims the bus.
-func (b *Bus) transferDelay(words int) sim.Time {
+// including waiting for the bus to become free, and claims the bus for the
+// transaction on channel ch.
+func (b *Bus) transferDelay(ch, words int) sim.Time {
 	if !b.timed {
 		return 0
 	}
@@ -92,6 +107,10 @@ func (b *Bus) transferDelay(words int) sim.Time {
 	b.busyUntil = start + dur
 	if b.vcd != nil {
 		b.vcd.Pulse(b.busSig, start, b.busyUntil)
+	}
+	if b.events != nil {
+		b.events.SliceArgs(b.busTrack, fmt.Sprintf("ch%d", ch), start, b.busyUntil,
+			map[string]any{"words": words})
 	}
 	return b.busyUntil - now
 }
@@ -106,7 +125,7 @@ func (b *Bus) Send(p *sim.Process, ch int, data []int32) {
 		// Receiver is waiting: this side completes the rendezvous.
 		n := copyWords(c.recvBuf, data)
 		c.recvBuf = nil
-		d := b.transferDelay(n)
+		d := b.transferDelay(c.id, n)
 		b.account(n)
 		c.recvEv.Notify(d)
 		if d > 0 {
@@ -126,7 +145,7 @@ func (b *Bus) Recv(p *sim.Process, ch int, buf []int32) {
 	if c.sendData != nil {
 		n := copyWords(buf, c.sendData)
 		c.sendData = nil
-		d := b.transferDelay(n)
+		d := b.transferDelay(c.id, n)
 		b.account(n)
 		c.sendEv.Notify(d)
 		if d > 0 {

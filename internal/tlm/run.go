@@ -10,6 +10,7 @@ import (
 	"ese/internal/core"
 	"ese/internal/diag"
 	"ese/internal/interp"
+	"ese/internal/metrics"
 	"ese/internal/platform"
 	"ese/internal/rtos"
 	"ese/internal/sim"
@@ -57,6 +58,18 @@ type Options struct {
 	// Trace, when set, records per-process busy intervals and bus activity
 	// as a VCD waveform.
 	Trace *trace.VCD
+	// Events, when set, records the same activity as a Chrome trace_event
+	// timeline (Perfetto): one track per PE (per task for RTOS PEs), one
+	// for the bus, one slice per activity interval or transaction.
+	Events *trace.Events
+	// Profile enables per-block execution counting in every interpreter;
+	// the counts are returned in Result.BlockCountsByPE and feed the
+	// cycle-attribution profiler (internal/profile).
+	Profile bool
+	// Metrics, when non-nil, receives the run's simulation counters
+	// (interpreter steps, kernel dispatches/fires, queue high-water, bus
+	// transfers) when Run returns.
+	Metrics *metrics.Registry
 }
 
 // Result is the outcome of one TLM simulation.
@@ -76,6 +89,9 @@ type Result struct {
 	AnnoTime     time.Duration // annotation time (timed runs)
 	BusWords     uint64
 	Steps        uint64 // total dynamic IR instructions
+	// BlockCountsByPE holds the per-block execution counts of each process
+	// (same keys as OutByPE); populated only when Options.Profile is set.
+	BlockCountsByPE map[string]map[*cdfg.Block]uint64
 }
 
 // EndCycles converts the simulated end time to cycles of the given clock.
@@ -148,6 +164,12 @@ func Run(d *platform.Design, opts Options) (*Result, error) {
 	if opts.Trace != nil {
 		bus.WithTrace(opts.Trace)
 	}
+	if opts.Events != nil {
+		bus.WithEvents(opts.Events)
+	}
+	if opts.Profile {
+		res.BlockCountsByPE = make(map[string]map[*cdfg.Block]uint64)
+	}
 	var runs []*procRun
 	var rtosCPUs []struct {
 		pe  *platform.PE
@@ -159,15 +181,24 @@ func Run(d *platform.Design, opts Options) (*Result, error) {
 		periodPs := sim.Time(1_000_000_000_000 / pe.PUM.ClockHz)
 		if len(pe.Tasks) > 0 && opts.Timed {
 			cpu := rtos.NewCPU(k, pe.RTOS, periodPs)
-			if opts.Trace != nil {
+			if opts.Trace != nil || opts.Events != nil {
 				sigs := make(map[string]*trace.Signal)
+				tracks := make(map[string]int)
 				for _, tk := range pe.Tasks {
-					sigs[tk.Name] = opts.Trace.Signal(pe.Name + "/" + tk.Name + "_busy")
+					if opts.Trace != nil {
+						sigs[tk.Name] = opts.Trace.Signal(pe.Name + "/" + tk.Name + "_busy")
+					}
+					if opts.Events != nil {
+						tracks[tk.Name] = opts.Events.Track(pe.Name + "/" + tk.Name)
+					}
 				}
-				vcd := opts.Trace
+				vcd, events := opts.Trace, opts.Events
 				cpu.OnRun = func(t *rtos.Task, from, to sim.Time) {
 					if sig := sigs[t.Name]; sig != nil {
 						vcd.Pulse(sig, from, to)
+					}
+					if events != nil {
+						events.Slice(tracks[t.Name], "run", from, to)
 					}
 				}
 			}
@@ -199,6 +230,9 @@ func Run(d *platform.Design, opts Options) (*Result, error) {
 	for _, pr := range runs {
 		res.OutByPE[pr.key] = append([]int32(nil), pr.m.Out...)
 		res.Steps += pr.m.Steps
+		if opts.Profile {
+			res.BlockCountsByPE[pr.key] = pr.m.BlockCounts
+		}
 		if pr.task != nil {
 			res.CyclesByPE[pr.key] = pr.task.CPUCycles
 			res.CyclesByPE[pr.pe.Name] += pr.task.CPUCycles
@@ -206,6 +240,16 @@ func Run(d *platform.Design, opts Options) (*Result, error) {
 	}
 	for _, rc := range rtosCPUs {
 		res.SwitchesByPE[rc.pe.Name] = rc.cpu.Switches
+	}
+	if mr := opts.Metrics; mr != nil {
+		mr.Counter("tlm.steps").Add(res.Steps)
+		mr.Counter("tlm.bus.transfers").Add(bus.Transfers)
+		mr.Counter("tlm.bus.words").Add(bus.Words)
+		ks := k.Stats()
+		mr.Counter("sim.dispatches").Add(ks.Dispatches)
+		mr.Counter("sim.fires").Add(ks.Fires)
+		mr.Gauge("sim.queue.max").SetMax(int64(ks.MaxQueue))
+		mr.Histogram("tlm.wall.seconds").Observe(res.Wall.Seconds())
 	}
 	// Cancellation (from the kernel loop or any interpreter) returns the
 	// partial Result alongside the typed error; any other process failure
@@ -246,20 +290,33 @@ func spawnProcess(ctx context.Context, k *sim.Kernel, d *platform.Design, pe *pl
 	m := interp.New(d.Program)
 	m.Limit = opts.StepLimit
 	m.Ctx = ctx
+	if opts.Profile {
+		m.EnableProfile()
+	}
 	pr.m = m
 	k.Spawn(key, func(p *sim.Process) {
 		var busy *trace.Signal
 		if opts.Trace != nil {
 			busy = opts.Trace.Signal(key + "_busy")
 		}
+		track := 0
+		if opts.Events != nil {
+			track = opts.Events.Track(key)
+		}
+		ran := func(from, to sim.Time) {
+			if busy != nil {
+				opts.Trace.Pulse(busy, from, to)
+			}
+			if opts.Events != nil {
+				opts.Events.Slice(track, "compute", from, to)
+			}
+		}
 		var pendingCycles float64
 		drain := func() {
 			if pendingCycles > 0 {
 				start := p.Now()
 				p.Wait(sim.Time(pendingCycles) * periodPs)
-				if busy != nil {
-					opts.Trace.Pulse(busy, start, p.Now())
-				}
+				ran(start, p.Now())
 				res.CyclesByPE[key] += uint64(pendingCycles)
 				pendingCycles = 0
 			}
@@ -271,9 +328,7 @@ func spawnProcess(ctx context.Context, k *sim.Kernel, d *platform.Design, pe *pl
 					if delay > 0 {
 						start := p.Now()
 						p.Wait(sim.Time(delay) * periodPs)
-						if busy != nil {
-							opts.Trace.Pulse(busy, start, p.Now())
-						}
+						ran(start, p.Now())
 						res.CyclesByPE[key] += uint64(delay)
 					}
 					return nil
@@ -314,6 +369,9 @@ func spawnRTOSTask(ctx context.Context, k *sim.Kernel, d *platform.Design, pe *p
 	m := interp.New(d.Program)
 	m.Limit = opts.StepLimit
 	m.Ctx = ctx
+	if opts.Profile {
+		m.EnableProfile()
+	}
 	pr.m = m
 	k.Spawn(key, func(p *sim.Process) {
 		cpu.Bind(task, p)

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ese/internal/sim"
+)
+
+// TestVCDIDCollisionFree checks the identifier-code generator over several
+// hundred signals: every VCD id must be unique (a collision would silently
+// merge two signals' waveforms in the viewer) and made only of the
+// printable ASCII characters the VCD grammar allows for id codes.
+func TestVCDIDCollisionFree(t *testing.T) {
+	const n = 700
+	seen := make(map[string]int, n)
+	for i := 0; i < n; i++ {
+		id := vcdID(i)
+		if id == "" {
+			t.Fatalf("vcdID(%d) is empty", i)
+		}
+		if prev, dup := seen[id]; dup {
+			t.Fatalf("vcdID collision: %d and %d both map to %q", prev, i, id)
+		}
+		seen[id] = i
+		for _, r := range id {
+			if r < '!' || r > '~' {
+				t.Fatalf("vcdID(%d) = %q contains non-printable %q", i, id, r)
+			}
+		}
+	}
+}
+
+// TestVCDSignalIDsUnique exercises the same property through the public
+// Signal API, as Render uses it.
+func TestVCDSignalIDsUnique(t *testing.T) {
+	v := New()
+	ids := make(map[string]bool)
+	for i := 0; i < 300; i++ {
+		s := v.Signal(fmt.Sprintf("sig%d", i))
+		if ids[s.id] {
+			t.Fatalf("duplicate id %q at signal %d", s.id, i)
+		}
+		ids[s.id] = true
+	}
+}
+
+// TestRenderSimultaneousChangesStableOrder checks that changes recorded at
+// the same timestamp render in recording (seq) order, whatever order the
+// sort visits them in, and that rendering is reproducible.
+func TestRenderSimultaneousChangesStableOrder(t *testing.T) {
+	build := func() *VCD {
+		v := New()
+		var sigs []*Signal
+		for i := 0; i < 8; i++ {
+			sigs = append(sigs, v.Signal(fmt.Sprintf("s%d", i)))
+		}
+		// All eight signals change at t=100 in a known order; a second
+		// round at the same instant reverses some of them. Out-of-order
+		// recording across time is also exercised.
+		for i, s := range sigs {
+			v.Set(s, 100, 1)
+			_ = i
+		}
+		v.Set(sigs[3], 50, 1)
+		v.Set(sigs[3], 100, 0) // same instant as the rises, recorded later
+		v.Set(sigs[0], 25, 1)
+		return v
+	}
+	out1 := build().Render()
+	out2 := build().Render()
+	if out1 != out2 {
+		t.Fatalf("Render is not reproducible:\n%s\nvs\n%s", out1, out2)
+	}
+	// Within the #100 section, s3's fall (recorded last) must come after
+	// the rises of the other signals, i.e. seq order is preserved.
+	sec := out1[strings.Index(out1, "#100"):]
+	idxRise := strings.Index(sec, "1"+vcdID(7)) // last signal's rise
+	idxFall := strings.Index(sec, "0"+vcdID(3)) // s3's later fall
+	if idxRise < 0 || idxFall < 0 {
+		t.Fatalf("expected changes missing from section:\n%s", sec)
+	}
+	if idxFall < idxRise {
+		t.Fatalf("same-time changes rendered out of seq order:\n%s", sec)
+	}
+	// s3 rose at t=50, so at t=100 it falls: both transitions must render.
+	if !strings.Contains(out1, "#50") {
+		t.Fatalf("missing #50 timestamp:\n%s", out1)
+	}
+}
+
+// TestRenderDeduplicatesRedundantChanges: recording the same value twice
+// must render a single transition.
+func TestRenderDeduplicatesRedundantChanges(t *testing.T) {
+	v := New()
+	s := v.Signal("x")
+	v.Set(s, 10, 1)
+	v.Set(s, 20, 1) // redundant
+	v.Set(s, 30, 0)
+	out := v.Render()
+	if strings.Contains(out, "#20") {
+		t.Fatalf("redundant change rendered its own timestamp:\n%s", out)
+	}
+	if got := strings.Count(out, "1"+s.id); got != 1 {
+		t.Fatalf("rise rendered %d times, want once:\n%s", got, out)
+	}
+}
+
+// TestPulseRoundTripThroughSimTime: pulses recorded via sim.Time survive
+// the sort with correct interval nesting.
+func TestPulseRoundTripThroughSimTime(t *testing.T) {
+	v := New()
+	a := v.Signal("a")
+	b := v.Signal("b")
+	v.Pulse(b, sim.Time(200), sim.Time(300))
+	v.Pulse(a, sim.Time(100), sim.Time(400))
+	out := v.Render()
+	// Search past the $dumpvars preamble so its initial 0-values don't
+	// shadow the real transitions.
+	body := out[strings.Index(out, "#100"):]
+	wantOrder := []string{"#100", "1" + a.id, "#200", "1" + b.id, "#300", "0" + b.id, "#400", "0" + a.id}
+	pos := 0
+	for _, tok := range wantOrder {
+		i := strings.Index(body[pos:], tok)
+		if i < 0 {
+			t.Fatalf("token %q missing or out of order in:\n%s", tok, out)
+		}
+		pos += i + len(tok)
+	}
+}

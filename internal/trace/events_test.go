@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"encoding/json"
+	"testing"
+
+	"ese/internal/sim"
+)
+
+// TestRenderJSONShape validates the trace_event contract Perfetto checks on
+// load: a top-level traceEvents array, "M" thread_name metadata naming each
+// track, and complete ("X") events with pid/tid/ts/dur in microseconds.
+func TestRenderJSONShape(t *testing.T) {
+	e := NewEvents()
+	cpu := e.Track("cpu")
+	bus := e.Track("bus")
+	e.Slice(cpu, "compute", sim.Time(2_000_000), sim.Time(5_000_000)) // 2us..5us
+	e.SliceArgs(bus, "ch0", sim.Time(5_000_000), sim.Time(5_500_000), map[string]any{"words": 8})
+	data, err := e.RenderJSON()
+	if err != nil {
+		t.Fatalf("RenderJSON: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Ts   float64        `json:"ts"`
+			Dur  *float64       `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 2 metadata + 2 slices", len(doc.TraceEvents))
+	}
+	meta := doc.TraceEvents[:2]
+	if meta[0].Ph != "M" || meta[0].Name != "thread_name" || meta[0].Args["name"] != "cpu" {
+		t.Errorf("bad cpu metadata: %+v", meta[0])
+	}
+	if meta[1].Args["name"] != "bus" || meta[1].Tid != bus {
+		t.Errorf("bad bus metadata: %+v", meta[1])
+	}
+	x := doc.TraceEvents[2]
+	if x.Ph != "X" || x.Tid != cpu || x.Ts != 2.0 || x.Dur == nil || *x.Dur != 3.0 {
+		t.Errorf("bad compute slice: %+v", x)
+	}
+	b := doc.TraceEvents[3]
+	if b.Name != "ch0" || b.Args["words"] != float64(8) {
+		t.Errorf("bad bus slice: %+v", b)
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Pid != 1 || ev.Tid < 1 {
+			t.Errorf("event %q has invalid pid/tid %d/%d", ev.Name, ev.Pid, ev.Tid)
+		}
+	}
+}
+
+func TestRenderJSONDeterministic(t *testing.T) {
+	build := func() []byte {
+		e := NewEvents()
+		a := e.Track("a")
+		e.SliceArgs(a, "s", 100, 200, map[string]any{"k1": 1, "k2": "x", "k3": 3})
+		out, err := e.RenderJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if string(build()) != string(build()) {
+		t.Fatal("RenderJSON is not deterministic")
+	}
+}
