@@ -28,6 +28,7 @@ import (
 	"ese/internal/cli"
 	"ese/internal/engine"
 	"ese/internal/experiments"
+	"ese/internal/interp"
 	"ese/internal/pum"
 )
 
@@ -40,6 +41,11 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock watchdog per pipeline run (0 = none)")
 	showMetrics := flag.Bool("metrics", false, "print the pipeline metrics snapshot at exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	execEngine := flag.String("exec", "auto", "IR execution engine for the experiment runs: auto | compiled | tree")
+	benchJSON := flag.String("bench-json", "", "measure the engine perf trajectory and write it as JSON to FILE (\"-\" = stdout)")
+	benchCompare := flag.String("bench-compare", "", "measure the engine perf trajectory and compare it against the baseline JSON in FILE")
+	benchReps := flag.Int("bench-reps", 5, "repetitions per design for -bench-json/-bench-compare (min is recorded)")
+	benchTol := flag.Float64("bench-tolerance", 0.30, "allowed relative speedup regression for -bench-compare")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -53,21 +59,39 @@ func main() {
 		fmt.Fprintf(os.Stderr, "esebench: pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
 	}
 
-	cli.Fail("esebench", run(*frames, *table, *ablation, *all, *jsonOut, *showMetrics, *timeout))
+	cli.Fail("esebench", run(*frames, *table, *ablation, *all, *jsonOut, *showMetrics, *timeout, benchCfg{
+		exec: *execEngine, json: *benchJSON, compare: *benchCompare,
+		reps: *benchReps, tol: *benchTol,
+	}))
 }
 
-func run(frames, table int, ablation string, all, jsonOut, showMetrics bool, timeout time.Duration) error {
+// benchCfg bundles the engine-benchmark flag values.
+type benchCfg struct {
+	exec          string
+	json, compare string
+	reps          int
+	tol           float64
+}
+
+func run(frames, table int, ablation string, all, jsonOut, showMetrics bool, timeout time.Duration, bench benchCfg) error {
+	execKind, err := interp.ParseEngineKind(bench.exec)
+	if err != nil {
+		return cli.Input(err)
+	}
 	eval := apps.MP3Config{Frames: frames, Seed: apps.DefaultMP3.Seed}
 	if !jsonOut {
 		fmt.Printf("workload: MP3-like decode, %d frames (eval seed 0x%X, train seed 0x%X)\n",
 			frames, eval.Seed, apps.TrainMP3.Seed)
 		fmt.Println("calibrating statistical PUM models on the training workload...")
 	}
-	s, err := experiments.NewSetupWith(eval, apps.TrainMP3, engine.Options{Timeout: timeout})
+	s, err := experiments.NewSetupWith(eval, apps.TrainMP3, engine.Options{Timeout: timeout, Engine: execKind})
 	if err != nil {
 		return err
 	}
 	defer cli.PrintDiags("esebench", s.Pipe.Diagnostics())
+	if bench.json != "" || bench.compare != "" {
+		return runBench(s, bench)
+	}
 	emit := func(v any) {
 		if jsonOut {
 			data, err := json.Marshal(v)
@@ -163,6 +187,48 @@ func run(frames, table int, ablation string, all, jsonOut, showMetrics bool, tim
 	}
 	if showMetrics {
 		fmt.Printf("\npipeline metrics:\n%s", s.Pipe.MetricsSnapshot())
+	}
+	return nil
+}
+
+// runBench measures the engine perf trajectory and either records it
+// (-bench-json) or checks it against a committed baseline (-bench-compare).
+func runBench(s *experiments.Setup, bench benchCfg) error {
+	cur, err := experiments.RunPerfBench(s, bench.reps)
+	if err != nil {
+		return err
+	}
+	fmt.Print(cur)
+	if bench.json != "" {
+		data, err := json.MarshalIndent(cur, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if bench.json == "-" {
+			fmt.Print(string(data))
+		} else if err := os.WriteFile(bench.json, data, 0o644); err != nil {
+			return err
+		} else {
+			fmt.Printf("wrote benchmark trajectory to %s\n", bench.json)
+		}
+	}
+	if bench.compare != "" {
+		data, err := os.ReadFile(bench.compare)
+		if err != nil {
+			return err
+		}
+		var base experiments.PerfBench
+		if err := json.Unmarshal(data, &base); err != nil {
+			return fmt.Errorf("baseline %s: %w", bench.compare, err)
+		}
+		if violations := cur.Compare(&base, bench.tol); len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "esebench: bench regression: %s\n", v)
+			}
+			return fmt.Errorf("%d benchmark regression(s) against %s", len(violations), bench.compare)
+		}
+		fmt.Printf("benchmark within tolerance of %s (%.0f%%)\n", bench.compare, 100*bench.tol)
 	}
 	return nil
 }

@@ -63,6 +63,7 @@ type options struct {
 	entry          string
 	top            int
 	steps          uint64
+	exec           string
 }
 
 func main() {
@@ -85,6 +86,7 @@ func main() {
 	flag.StringVar(&o.entry, "entry", "main", "entry function for -profile")
 	flag.IntVar(&o.top, "top", 20, "rows shown by -profile (0 = all)")
 	flag.Uint64Var(&o.steps, "steps", 0, "dynamic step limit for -profile (0 = none)")
+	flag.StringVar(&o.exec, "exec", "auto", "execution engine for -profile: auto | compiled | tree")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: eseest [flags] app.c")
@@ -205,19 +207,26 @@ func run(file string, o options) error {
 // estimated cycle count on the model (identical, bit for bit, to what the
 // timed TLM would accumulate for a lone PE without communication stalls).
 func runProfile(prog *ese.Program, model string, est map[*cdfg.Block]core.Estimate, o options) error {
-	m := interp.New(prog)
+	kind, err := interp.ParseEngineKind(o.exec)
+	if err != nil {
+		return err
+	}
+	m, err := interp.NewEngine(prog, kind)
+	if err != nil {
+		return err
+	}
 	m.EnableProfile()
-	m.Limit = o.steps
+	m.SetLimit(o.steps)
 	if o.timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), o.timeout)
 		defer cancel()
-		m.Ctx = ctx
+		m.SetContext(ctx)
 	}
 	if err := m.Run(o.entry); err != nil {
 		return fmt.Errorf("profile run: %w", err)
 	}
 	rep, err := profile.Build("", prog,
-		map[string]map[*cdfg.Block]uint64{model: m.BlockCounts},
+		map[string]map[*cdfg.Block]uint64{model: m.BlockCountsMap()},
 		map[string]map[*cdfg.Block]core.Estimate{model: est})
 	if err != nil {
 		return err

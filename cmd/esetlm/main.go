@@ -36,6 +36,7 @@ import (
 	"ese/internal/cdfg"
 	"ese/internal/cli"
 	"ese/internal/core"
+	"ese/internal/interp"
 	"ese/internal/profile"
 	"ese/internal/tlm"
 	"ese/internal/trace"
@@ -56,6 +57,7 @@ func main() {
 	profileJSON := flag.String("profile-json", "", "write the attribution report as JSON to this file (\"-\" = stdout)")
 	top := flag.Int("top", 20, "rows shown by -profile (0 = all)")
 	timeout := flag.Duration("timeout", 0, "wall-clock watchdog for the simulation (0 = none)")
+	execEngine := flag.String("exec", "auto", "IR execution engine: auto | compiled | tree")
 	flag.Parse()
 
 	cli.Fail("esetlm", run(runCfg{
@@ -63,7 +65,7 @@ func main() {
 		engine: *engine, calibrate: *calibrate, graph: *graph, gen: *gen,
 		vcdPath: *vcd, traceJSON: *traceJSON,
 		profile: *profileFlag, profileJSON: *profileJSON, top: *top,
-		timeout: *timeout,
+		timeout: *timeout, exec: *execEngine,
 	}))
 }
 
@@ -81,12 +83,17 @@ type runCfg struct {
 	profileJSON    string
 	top            int
 	timeout        time.Duration
+	exec           string
 }
 
 func run(cfgFlags runCfg) error {
 	design, frames, icache, dcache := cfgFlags.design, cfgFlags.frames, cfgFlags.icache, cfgFlags.dcache
 	engine, calibrate, graph, gen := cfgFlags.engine, cfgFlags.calibrate, cfgFlags.graph, cfgFlags.gen
 	vcdPath, timeout := cfgFlags.vcdPath, cfgFlags.timeout
+	execKind, err := interp.ParseEngineKind(cfgFlags.exec)
+	if err != nil {
+		return cli.Input(err)
+	}
 	cfg := ese.MP3Config{Frames: frames, Seed: 0xC0FFEE}
 	mb := ese.MicroBlazePUM()
 	if calibrate {
@@ -121,7 +128,7 @@ func run(cfgFlags runCfg) error {
 	}
 	switch engine {
 	case "functional":
-		pl := ese.NewPipeline(ese.PipelineOptions{Timeout: timeout})
+		pl := ese.NewPipeline(ese.PipelineOptions{Timeout: timeout, Engine: execKind})
 		defer cli.PrintDiags("esetlm", pl.Diagnostics())
 		res, err := pl.RunFunctional(d)
 		if err != nil {
@@ -129,7 +136,7 @@ func run(cfgFlags runCfg) error {
 		}
 		printTLM(res, d)
 	case "timed":
-		pl := ese.NewPipeline(ese.PipelineOptions{Timeout: timeout})
+		pl := ese.NewPipeline(ese.PipelineOptions{Timeout: timeout, Engine: execKind})
 		defer cli.PrintDiags("esetlm", pl.Diagnostics())
 		doProfile := cfgFlags.profile || cfgFlags.profileJSON != ""
 		opts := tlm.Options{

@@ -1,0 +1,93 @@
+// Differential tests of the two execution engines over the full example
+// designs: the compiled flat-instruction engine must be observationally
+// identical to the tree-walking reference on every MP3 design variant.
+package ese
+
+import (
+	"maps"
+	"slices"
+	"testing"
+
+	"ese/internal/apps"
+	"ese/internal/core"
+	"ese/internal/interp"
+	"ese/internal/pum"
+	"ese/internal/tlm"
+)
+
+var diffEval = apps.MP3Config{Frames: 1, Seed: 0xC0FFEE}
+
+// TestCompiledEngineCoversMP3 asserts the compiler accepts every example
+// program — EngineAuto must never silently fall back on them.
+func TestCompiledEngineCoversMP3(t *testing.T) {
+	for _, name := range apps.MP3DesignNames {
+		prog, err := apps.CompileMP3(name, diffEval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := interp.Compile(prog); err != nil {
+			t.Fatalf("%s: compiled engine rejected the program: %v", name, err)
+		}
+		e, err := interp.NewEngine(prog, interp.EngineAuto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Kind() != interp.EngineCompiled {
+			t.Fatalf("%s: EngineAuto fell back to %v", name, e.Kind())
+		}
+	}
+}
+
+// TestEngineDifferentialMP3Designs runs every MP3 design's timed TLM under
+// both engines and requires identical Out streams, Steps, CyclesByPE,
+// simulated end time and per-block counts.
+func TestEngineDifferentialMP3Designs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-design differential is slow")
+	}
+	mb := MicroBlazePUM()
+	cc := pum.CacheCfg{ISize: 8 * 1024, DSize: 4 * 1024}
+	for _, name := range apps.MP3DesignNames {
+		t.Run(name, func(t *testing.T) {
+			d, err := apps.MP3Design(name, diffEval, mb, cc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func(kind interp.EngineKind) *tlm.Result {
+				res, err := tlm.Run(d, tlm.Options{
+					Timed:    true,
+					WaitMode: tlm.WaitAtTransactions,
+					Detail:   core.FullDetail,
+					Engine:   kind,
+					Profile:  true,
+				})
+				if err != nil {
+					t.Fatalf("%v engine: %v", kind, err)
+				}
+				return res
+			}
+			rt := run(interp.EngineTree)
+			rc := run(interp.EngineCompiled)
+			if !maps.EqualFunc(rt.OutByPE, rc.OutByPE, slices.Equal[[]int32]) {
+				t.Fatalf("OutByPE diverges")
+			}
+			if rt.Steps != rc.Steps {
+				t.Fatalf("Steps diverge: tree %d, compiled %d", rt.Steps, rc.Steps)
+			}
+			if !maps.Equal(rt.CyclesByPE, rc.CyclesByPE) {
+				t.Fatalf("CyclesByPE diverge:\n  tree:     %v\n  compiled: %v", rt.CyclesByPE, rc.CyclesByPE)
+			}
+			if rt.EndPs != rc.EndPs {
+				t.Fatalf("EndPs diverges: tree %d, compiled %d", rt.EndPs, rc.EndPs)
+			}
+			if rt.BusWords != rc.BusWords {
+				t.Fatalf("BusWords diverge: tree %d, compiled %d", rt.BusWords, rc.BusWords)
+			}
+			for key, am := range rt.BlockCountsByPE {
+				if !maps.Equal(am, rc.BlockCountsByPE[key]) {
+					t.Fatalf("BlockCountsByPE[%s] diverges", key)
+				}
+			}
+		})
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"ese/internal/cfront"
 	"ese/internal/core"
 	"ese/internal/diag"
+	"ese/internal/interp"
 	"ese/internal/metrics"
 	"ese/internal/platform"
 	"ese/internal/pum"
@@ -66,6 +67,11 @@ type Options struct {
 	// point (CompileCtx, AnnotateCtx, SimulateCtx): the call is abandoned
 	// with diag.ErrDeadline once that much host time has elapsed.
 	Timeout time.Duration
+	// Engine is the pipeline-wide default execution engine for Simulate
+	// runs: interp.EngineAuto (the zero value) uses the flat compiled
+	// engine with tree-walker fallback. A per-run tlm.Options.Engine other
+	// than auto takes precedence.
+	Engine interp.EngineKind
 }
 
 // Stats aggregates the pipeline's observability counters: the
@@ -375,6 +381,9 @@ func (pl *Pipeline) SimulateCtx(ctx context.Context, d *platform.Design, opts tl
 	}
 	if opts.Metrics == nil {
 		opts.Metrics = pl.metrics
+	}
+	if opts.Engine == interp.EngineAuto {
+		opts.Engine = pl.opts.Engine
 	}
 	var res *tlm.Result
 	start := time.Now()

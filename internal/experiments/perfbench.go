@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"ese/internal/apps"
+	"ese/internal/core"
+	"ese/internal/interp"
+	"ese/internal/pum"
+	"ese/internal/tlm"
+)
+
+// PerfBench is the machine-readable performance trajectory of the execution
+// engines: per design, the deterministic simulation outputs (cycles, end
+// time) plus the measured wall-clock and allocation cost of one timed TLM
+// run under the tree-walking and compiled engines. Engines alternate within
+// one process and the minimum over the repetitions is recorded, so the two
+// sides see the same machine conditions.
+//
+// The committed baseline (BENCH_tlm.json) is compared against a fresh
+// measurement by Compare: simulated cycles must match exactly (the
+// simulation is deterministic), and the compiled/tree speedup — a
+// machine-independent ratio — must not regress beyond the tolerance. Raw
+// nanosecond fields are recorded for trend inspection only; they are never
+// compared across machines.
+type PerfBench struct {
+	Frames int            `json:"frames"`
+	Reps   int            `json:"reps"`
+	Rows   []PerfBenchRow `json:"rows"`
+}
+
+// PerfBenchRow is one design's measurement.
+type PerfBenchRow struct {
+	Design         string  `json:"design"`
+	SimCycles      uint64  `json:"sim_cycles"` // sum of CyclesByPE (deterministic)
+	EndPs          uint64  `json:"end_ps"`     // simulated end time (deterministic)
+	TreeNs         int64   `json:"tree_ns"`    // min wall-clock of one run
+	CompiledNs     int64   `json:"compiled_ns"`
+	TreeAllocs     uint64  `json:"tree_allocs"` // min allocations of one run
+	CompiledAllocs uint64  `json:"compiled_allocs"`
+	Speedup        float64 `json:"speedup"`     // TreeNs / CompiledNs
+	AllocRatio     float64 `json:"alloc_ratio"` // TreeAllocs / max(CompiledAllocs,1)
+}
+
+// perfBenchCacheCfg matches the Table 1 evaluation configuration.
+var perfBenchCacheCfg = pum.CacheCfg{ISize: 8 * 1024, DSize: 4 * 1024}
+
+// RunPerfBench measures every MP3 design's timed TLM under both engines.
+// Delays are annotated once per design outside the timed region, so the
+// measurement isolates simulation (the quantity the engine choice affects).
+func RunPerfBench(s *Setup, reps int) (*PerfBench, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	out := &PerfBench{Frames: s.Eval.Frames, Reps: reps}
+	for _, design := range apps.MP3DesignNames {
+		d, err := apps.MP3Design(design, s.Eval, s.MB, perfBenchCacheCfg)
+		if err != nil {
+			return nil, err
+		}
+		dm, _ := s.Pipe.Delays(d, core.FullDetail)
+		row := PerfBenchRow{Design: design}
+		runOnce := func(kind interp.EngineKind) (time.Duration, uint64, *tlm.Result, error) {
+			opts := tlm.Options{
+				Timed:    true,
+				WaitMode: tlm.WaitAtTransactions,
+				Detail:   core.FullDetail,
+				Delays:   dm,
+				Engine:   kind,
+			}
+			// Collect before timing so one engine's garbage is never paid
+			// for during the other engine's timed region.
+			runtime.GC()
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			res, err := tlm.Run(d, opts)
+			wall := time.Since(start)
+			runtime.ReadMemStats(&after)
+			return wall, after.Mallocs - before.Mallocs, res, err
+		}
+		for rep := 0; rep < reps; rep++ {
+			// Alternate engines within each repetition so both sides sample
+			// the same machine conditions.
+			tw, ta, tres, err := runOnce(interp.EngineTree)
+			if err != nil {
+				return nil, fmt.Errorf("perfbench %s (tree): %w", design, err)
+			}
+			cw, ca, cres, err := runOnce(interp.EngineCompiled)
+			if err != nil {
+				return nil, fmt.Errorf("perfbench %s (compiled): %w", design, err)
+			}
+			var cycles uint64
+			for _, c := range cres.CyclesByPE {
+				cycles += c
+			}
+			var tcycles uint64
+			for _, c := range tres.CyclesByPE {
+				tcycles += c
+			}
+			if tcycles != cycles || tres.EndPs != cres.EndPs {
+				return nil, fmt.Errorf("perfbench %s: engines diverge (tree %d cycles end %d, compiled %d cycles end %d)",
+					design, tcycles, tres.EndPs, cycles, cres.EndPs)
+			}
+			if rep == 0 {
+				row.SimCycles, row.EndPs = cycles, uint64(cres.EndPs)
+				row.TreeNs, row.CompiledNs = tw.Nanoseconds(), cw.Nanoseconds()
+				row.TreeAllocs, row.CompiledAllocs = ta, ca
+				continue
+			}
+			if n := tw.Nanoseconds(); n < row.TreeNs {
+				row.TreeNs = n
+			}
+			if n := cw.Nanoseconds(); n < row.CompiledNs {
+				row.CompiledNs = n
+			}
+			if ta < row.TreeAllocs {
+				row.TreeAllocs = ta
+			}
+			if ca < row.CompiledAllocs {
+				row.CompiledAllocs = ca
+			}
+		}
+		if row.CompiledNs > 0 {
+			row.Speedup = float64(row.TreeNs) / float64(row.CompiledNs)
+		}
+		ca := row.CompiledAllocs
+		if ca == 0 {
+			ca = 1
+		}
+		row.AllocRatio = float64(row.TreeAllocs) / float64(ca)
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Compare checks a fresh measurement against a committed baseline and
+// returns human-readable violations (empty means the run is acceptable).
+// Only machine-independent quantities are compared: simulated cycles and
+// end time must match exactly when the workloads match, and the
+// compiled/tree speedup must not fall below baseline*(1-tol).
+func (b *PerfBench) Compare(baseline *PerfBench, tol float64) []string {
+	var violations []string
+	byDesign := make(map[string]PerfBenchRow, len(b.Rows))
+	for _, r := range b.Rows {
+		byDesign[r.Design] = r
+	}
+	sameWorkload := b.Frames == baseline.Frames
+	for _, base := range baseline.Rows {
+		cur, ok := byDesign[base.Design]
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("%s: missing from current measurement", base.Design))
+			continue
+		}
+		if sameWorkload && (cur.SimCycles != base.SimCycles || cur.EndPs != base.EndPs) {
+			violations = append(violations, fmt.Sprintf(
+				"%s: simulated outputs changed: %d cycles end %d ps, baseline %d cycles end %d ps (determinism or timing-model regression)",
+				base.Design, cur.SimCycles, cur.EndPs, base.SimCycles, base.EndPs))
+		}
+		floor := base.Speedup * (1 - tol)
+		if cur.Speedup < floor {
+			violations = append(violations, fmt.Sprintf(
+				"%s: compiled/tree speedup %.2fx below %.2fx (baseline %.2fx - %.0f%% tolerance)",
+				base.Design, cur.Speedup, floor, base.Speedup, 100*tol))
+		}
+		if base.CompiledAllocs > 0 {
+			ceil := float64(base.CompiledAllocs) * (1 + tol)
+			if float64(cur.CompiledAllocs) > ceil {
+				violations = append(violations, fmt.Sprintf(
+					"%s: compiled-engine allocations %d above %.0f (baseline %d + %.0f%% tolerance)",
+					base.Design, cur.CompiledAllocs, ceil, base.CompiledAllocs, 100*tol))
+			}
+		}
+	}
+	return violations
+}
+
+// String renders the trajectory as an aligned table.
+func (b *PerfBench) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "engine benchmark (timed TLM, %d frames, min of %d reps)\n", b.Frames, b.Reps)
+	fmt.Fprintf(&sb, "%-6s %14s %12s %12s %8s %12s %12s %7s\n",
+		"design", "sim cycles", "tree ms", "compiled ms", "speedup", "tree allocs", "comp allocs", "ratio")
+	for _, r := range b.Rows {
+		fmt.Fprintf(&sb, "%-6s %14d %12.3f %12.3f %7.2fx %12d %12d %6.1fx\n",
+			r.Design, r.SimCycles,
+			float64(r.TreeNs)/1e6, float64(r.CompiledNs)/1e6, r.Speedup,
+			r.TreeAllocs, r.CompiledAllocs, r.AllocRatio)
+	}
+	return sb.String()
+}

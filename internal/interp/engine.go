@@ -1,0 +1,177 @@
+package interp
+
+import (
+	"context"
+	"fmt"
+
+	"ese/internal/cdfg"
+)
+
+// EngineKind selects the execution engine behind a TLM process.
+type EngineKind int
+
+const (
+	// EngineAuto compiles the program and falls back to the tree-walker
+	// when compilation rejects it — the default.
+	EngineAuto EngineKind = iota
+	// EngineCompiled requires the flat compiled engine.
+	EngineCompiled
+	// EngineTree forces the tree-walking reference interpreter.
+	EngineTree
+)
+
+func (k EngineKind) String() string {
+	switch k {
+	case EngineAuto:
+		return "auto"
+	case EngineCompiled:
+		return "compiled"
+	case EngineTree:
+		return "tree"
+	}
+	return fmt.Sprintf("engine(%d)", int(k))
+}
+
+// ParseEngineKind parses an -exec flag value.
+func ParseEngineKind(s string) (EngineKind, error) {
+	switch s {
+	case "", "auto":
+		return EngineAuto, nil
+	case "compiled":
+		return EngineCompiled, nil
+	case "tree":
+		return EngineTree, nil
+	}
+	return EngineAuto, fmt.Errorf("unknown execution engine %q (want auto, compiled or tree)", s)
+}
+
+// Engine is the execution surface the TLM layer drives: run an entry
+// function with channel intrinsics bound, fused per-block timing, and
+// harvestable out/step/profile state. Machine (via the tree adapter) and
+// Compiled both satisfy it with identical observable behavior.
+type Engine interface {
+	// Run executes the named entry function with no arguments.
+	Run(entry string) error
+	// Reset re-initializes globals, the out stream and all counters.
+	Reset()
+	// Kind reports which engine this is.
+	Kind() EngineKind
+	// OutStream returns the out() intrinsic's stream.
+	OutStream() []int32
+	// StepCount returns the dynamic IR instruction count.
+	StepCount() uint64
+	// BlockCountsMap returns per-block execution counts (nil unless
+	// EnableProfile was called); only executed blocks appear.
+	BlockCountsMap() map[*cdfg.Block]uint64
+	// EnableProfile turns on per-block execution counting.
+	EnableProfile()
+	// SetLimit sets the dynamic step limit (0 = none).
+	SetLimit(n uint64)
+	// SetContext bounds execution by ctx.
+	SetContext(ctx context.Context)
+	// SetChannels installs the send/recv intrinsics.
+	SetChannels(send func(ch int, data []int32) error, recv func(ch int, buf []int32) error)
+	// SetDelays installs the annotated per-block delays (timed runs). By
+	// default each executed block's delay accumulates into a pending pool
+	// drained with TakePending at transaction boundaries.
+	SetDelays(dm map[*cdfg.Block]float64)
+	// SetOnDelay switches to per-block delivery: fn observes every dynamic
+	// block's delay (including zero) instead of pooling. Call after
+	// SetDelays.
+	SetOnDelay(fn func(delay float64) error)
+	// TakePending returns and clears the pooled delay cycles.
+	TakePending() float64
+}
+
+// NewEngine builds an execution engine for prog. EngineAuto compiles with
+// CompileCached and silently falls back to the tree-walker when the program
+// uses IR shapes the compiler rejects; EngineCompiled surfaces the
+// compilation error instead.
+func NewEngine(prog *cdfg.Program, kind EngineKind) (Engine, error) {
+	switch kind {
+	case EngineTree:
+		return newTreeEngine(prog), nil
+	case EngineCompiled:
+		cp, err := CompileCached(prog)
+		if err != nil {
+			return nil, err
+		}
+		return NewCompiled(cp), nil
+	default:
+		cp, err := CompileCached(prog)
+		if err != nil {
+			return newTreeEngine(prog), nil
+		}
+		return NewCompiled(cp), nil
+	}
+}
+
+// treeEngine adapts the tree-walking Machine to the Engine interface,
+// reproducing the delay-pooling contract with an OnBlock closure.
+type treeEngine struct {
+	m       *Machine
+	dm      map[*cdfg.Block]float64
+	onDelay func(delay float64) error
+	pending float64
+}
+
+func newTreeEngine(prog *cdfg.Program) *treeEngine {
+	return &treeEngine{m: New(prog)}
+}
+
+// Machine exposes the underlying tree-walker.
+func (e *treeEngine) Machine() *Machine { return e.m }
+
+func (e *treeEngine) Run(entry string) error { return e.m.Run(entry) }
+
+func (e *treeEngine) Reset() {
+	e.m.Reset()
+	e.pending = 0
+}
+
+func (e *treeEngine) Kind() EngineKind { return EngineTree }
+
+func (e *treeEngine) OutStream() []int32 { return e.m.Out }
+
+func (e *treeEngine) StepCount() uint64 { return e.m.Steps }
+
+func (e *treeEngine) BlockCountsMap() map[*cdfg.Block]uint64 { return e.m.BlockCounts }
+
+func (e *treeEngine) EnableProfile() { e.m.EnableProfile() }
+
+func (e *treeEngine) SetLimit(n uint64) { e.m.Limit = n }
+
+func (e *treeEngine) SetContext(ctx context.Context) { e.m.Ctx = ctx }
+
+func (e *treeEngine) SetChannels(send func(ch int, data []int32) error, recv func(ch int, buf []int32) error) {
+	e.m.Send, e.m.Recv = send, recv
+}
+
+func (e *treeEngine) SetDelays(dm map[*cdfg.Block]float64) {
+	e.dm = dm
+	e.install()
+}
+
+func (e *treeEngine) SetOnDelay(fn func(delay float64) error) {
+	e.onDelay = fn
+	e.install()
+}
+
+func (e *treeEngine) install() {
+	switch {
+	case e.dm == nil:
+		e.m.OnBlock = nil
+	case e.onDelay != nil:
+		dm, fn := e.dm, e.onDelay
+		e.m.OnBlock = func(b *cdfg.Block) error { return fn(dm[b]) }
+	default:
+		dm := e.dm
+		e.m.OnBlock = func(b *cdfg.Block) error { e.pending += dm[b]; return nil }
+	}
+}
+
+func (e *treeEngine) TakePending() float64 {
+	p := e.pending
+	e.pending = 0
+	return p
+}

@@ -79,10 +79,12 @@ func New(prog *cdfg.Program) *Machine {
 	return m
 }
 
-// EnableProfile turns on per-block execution counting (idempotent).
+// EnableProfile turns on per-block execution counting (idempotent). The
+// map is pre-sized for the program's static block count, since a full run
+// typically touches most blocks.
 func (m *Machine) EnableProfile() {
 	if m.BlockCounts == nil {
-		m.BlockCounts = make(map[*cdfg.Block]uint64)
+		m.BlockCounts = make(map[*cdfg.Block]uint64, m.Prog.NumBlocks())
 	}
 }
 
@@ -98,9 +100,7 @@ func (m *Machine) Reset() {
 	m.Out = m.Out[:0]
 	m.Steps = 0
 	m.ctxCountdown = 0
-	for b := range m.BlockCounts {
-		delete(m.BlockCounts, b)
-	}
+	clear(m.BlockCounts)
 }
 
 // Run executes the named entry function with no arguments.

@@ -220,3 +220,50 @@ func countRun(t *testing.T, prog *cdfg.Program) map[*cdfg.Block]uint64 {
 	}
 	return m.BlockCounts
 }
+
+// TestReportReconcilesUnderBothEngines pins the PR 3 invariant to each
+// execution engine explicitly: under the tree-walker AND the compiled
+// flat engine, the profiler totals must equal the simulated per-PE cycle
+// counters bit-for-bit.
+func TestReportReconcilesUnderBothEngines(t *testing.T) {
+	prog := compile(t, pingPongSrc)
+	mb, err := pum.MicroBlaze().WithCache(pum.CacheCfg{ISize: 8192, DSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := pum.CustomHW("acc", 100_000_000)
+	est := map[string]map[*cdfg.Block]core.Estimate{
+		"cpu": annotate.Annotate(prog, mb, core.FullDetail).Est,
+		"acc": annotate.Annotate(prog, hw, core.FullDetail).Est,
+	}
+	for _, kind := range []interp.EngineKind{interp.EngineTree, interp.EngineCompiled} {
+		d := &platform.Design{
+			Name:    "pingpong-" + kind.String(),
+			Program: prog,
+			Bus:     platform.DefaultBus(),
+			PEs: []*platform.PE{
+				{Name: "cpu", Kind: platform.Processor, Entry: "main", PUM: mb},
+				{Name: "acc", Kind: platform.HWUnit, Entry: "worker", PUM: hw},
+			},
+		}
+		res, err := tlm.Run(d, tlm.Options{
+			Timed:    true,
+			WaitMode: tlm.WaitAtTransactions,
+			Detail:   core.FullDetail,
+			Profile:  true,
+			Engine:   kind,
+		})
+		if err != nil {
+			t.Fatalf("%v: Run: %v", kind, err)
+		}
+		r, err := Build(d.Name, prog, res.BlockCountsByPE, est)
+		if err != nil {
+			t.Fatalf("%v: Build: %v", kind, err)
+		}
+		for _, key := range []string{"cpu", "acc"} {
+			if got, want := r.ByPE[key], float64(res.CyclesByPE[key]); got != want {
+				t.Errorf("%v: ByPE[%q] = %v, want exactly %v (simulated)", kind, key, got, want)
+			}
+		}
+	}
+}

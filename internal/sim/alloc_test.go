@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+)
+
+// pingPongKernel builds the canonical two-process rendezvous workload: each
+// round is two event notifications, two event waits and two timed waits —
+// the kernel's entire steady-state surface.
+func pingPongKernel(rounds int) *Kernel {
+	k := NewKernel()
+	ping := k.NewEvent("ping")
+	pong := k.NewEvent("pong")
+	k.Spawn("a", func(p *Process) {
+		for r := 0; r < rounds; r++ {
+			ping.Notify(1)
+			p.WaitEvent(pong)
+			p.Wait(1)
+		}
+	})
+	k.Spawn("b", func(p *Process) {
+		for r := 0; r < rounds; r++ {
+			p.WaitEvent(ping)
+			pong.Notify(1)
+			p.Wait(1)
+		}
+	})
+	return k
+}
+
+// runMallocs runs the workload and returns the total mallocs it performed.
+func runMallocs(t *testing.T, rounds int) uint64 {
+	t.Helper()
+	k := pingPongKernel(rounds)
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs
+}
+
+// TestKernelSteadyStateZeroAllocs asserts that the event/wakeup machinery
+// recycles its queue items and waiter lists: growing the round count by
+// 20000 must not grow the allocation count measurably (every per-round
+// object comes from the free list once the pools warm up).
+func TestKernelSteadyStateZeroAllocs(t *testing.T) {
+	const small, extra = 100, 20_000
+	base := runMallocs(t, small)
+	grown := runMallocs(t, small+extra)
+	var delta uint64
+	if grown > base {
+		delta = grown - base
+	}
+	perRound := float64(delta) / float64(extra)
+	t.Logf("mallocs: %d rounds -> %d, %d rounds -> %d (%.4f allocs/round)",
+		small, base, small+extra, grown, perRound)
+	if perRound > 0.01 {
+		t.Fatalf("steady state allocates %.4f objects per round; want 0 (event/item pooling regressed)", perRound)
+	}
+}
+
+// BenchmarkKernelSteadyState reports allocs/op for one full rendezvous
+// round; with pooling warm this is ~0.
+func BenchmarkKernelSteadyState(b *testing.B) {
+	k := pingPongKernel(b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

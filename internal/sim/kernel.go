@@ -50,6 +50,14 @@ type Kernel struct {
 	// would put a lock acquisition on the hot path).
 	ctxCountdown int
 	stats        KernelStats
+	// free recycles queue items: every scheduled wakeup or event fire is
+	// popped exactly once by the event loop, which returns it here, so the
+	// steady state allocates no items at all.
+	free []*queueItem
+	// fireScratch is the reusable snapshot of an event's waiter list taken
+	// while firing. fire never nests (only the event loop calls it, and a
+	// dispatched process cannot re-enter the loop), so one buffer suffices.
+	fireScratch []*Process
 }
 
 // KernelStats counts the event loop's work, for observability: how many
@@ -98,17 +106,34 @@ func (k *Kernel) Spawn(name string, body func(p *Process)) *Process {
 	return p
 }
 
+// newItem pops a recycled queue item from the free list, or allocates one.
+func (k *Kernel) newItem() *queueItem {
+	if n := len(k.free); n > 0 {
+		item := k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		return item
+	}
+	return &queueItem{}
+}
+
+// recycle returns a popped item to the free list.
+func (k *Kernel) recycle(item *queueItem) {
+	item.proc = nil
+	item.event = nil
+	k.free = append(k.free, item)
+}
+
 // schedule enqueues a wakeup for p at now+delay. A zero delay within a
 // running simulation is a delta-cycle wakeup: it fires at the same timestamp
 // but strictly after all currently scheduled same-time work.
 func (k *Kernel) schedule(p *Process, delay Time) {
 	k.seq++
-	item := &queueItem{
-		t:     k.now + delay,
-		delta: k.delta,
-		seq:   k.seq,
-		proc:  p,
-	}
+	item := k.newItem()
+	item.t = k.now + delay
+	item.delta = k.delta
+	item.seq = k.seq
+	item.proc = p
 	if delay == 0 {
 		item.delta = k.delta + 1
 	}
@@ -121,12 +146,11 @@ func (k *Kernel) schedule(p *Process, delay Time) {
 // scheduleFire enqueues an event firing at now+delay.
 func (k *Kernel) scheduleFire(ev *Event, delay Time) {
 	k.seq++
-	item := &queueItem{
-		t:     k.now + delay,
-		delta: k.delta,
-		seq:   k.seq,
-		event: ev,
-	}
+	item := k.newItem()
+	item.t = k.now + delay
+	item.delta = k.delta
+	item.seq = k.seq
+	item.event = ev
 	if delay == 0 {
 		item.delta = k.delta + 1
 	}
@@ -176,9 +200,15 @@ func (k *Kernel) RunCtx(ctx context.Context) (Time, error) {
 		}
 		switch {
 		case item.proc != nil:
-			k.dispatch(item.proc)
+			proc := item.proc
+			k.recycle(item)
+			k.dispatch(proc)
 		case item.event != nil:
-			k.fire(item.event)
+			ev := item.event
+			k.recycle(item)
+			k.fire(ev)
+		default:
+			k.recycle(item)
 		}
 	}
 	if k.stopped {
@@ -228,12 +258,16 @@ func (k *Kernel) dispatch(p *Process) {
 }
 
 // fire wakes every process currently waiting on ev, in registration order.
+// The waiter list is snapshotted into the kernel's scratch buffer and the
+// event's own slice is truncated in place, so a process that immediately
+// re-waits appends into the retained backing array instead of allocating.
 func (k *Kernel) fire(ev *Event) {
 	k.stats.Fires++
-	waiters := ev.waiters
-	ev.waiters = nil
+	k.fireScratch = append(k.fireScratch[:0], ev.waiters...)
+	clear(ev.waiters)
+	ev.waiters = ev.waiters[:0]
 	ev.pending--
-	for _, p := range waiters {
+	for _, p := range k.fireScratch {
 		if p.state != stateWaitEvent {
 			continue
 		}

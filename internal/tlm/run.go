@@ -37,6 +37,11 @@ type Options struct {
 	Timed     bool
 	WaitMode  WaitMode
 	StepLimit uint64 // per-process dynamic instruction limit (0 = none)
+	// Engine selects the per-process execution engine. The default
+	// (interp.EngineAuto) runs the flat compiled engine and falls back to
+	// the tree-walking interpreter for programs the compiler rejects; both
+	// engines are observably identical, so this is purely a speed knob.
+	Engine interp.EngineKind
 	// Ctx, when non-nil, bounds the simulation: cancellation or deadline
 	// expiry interrupts the event loop and every interpreter, and Run
 	// returns the partial Result together with diag.ErrCanceled or
@@ -103,7 +108,7 @@ func (r *Result) EndCycles(clockHz int64) uint64 {
 // procRun tracks one spawned application process.
 type procRun struct {
 	key  string
-	m    *interp.Machine
+	m    interp.Engine
 	task *rtos.Task // nil for plain processes
 	pe   *platform.PE
 	err  error
@@ -208,7 +213,11 @@ func Run(d *platform.Design, opts Options) (*Result, error) {
 			}{pe, cpu})
 			for _, tk := range pe.Tasks {
 				tk := tk
-				runs = append(runs, spawnRTOSTask(ctx, k, d, pe, tk, cpu, bus, delays[pe], opts))
+				pr, err := spawnRTOSTask(ctx, k, d, pe, tk, cpu, bus, delays[pe], opts)
+				if err != nil {
+					return nil, err
+				}
+				runs = append(runs, pr)
 			}
 			continue
 		}
@@ -218,7 +227,11 @@ func Run(d *platform.Design, opts Options) (*Result, error) {
 			if len(pe.Tasks) > 0 {
 				key = pe.Name + "/" + task.Name
 			}
-			runs = append(runs, spawnProcess(ctx, k, d, pe, key, task.Entry, bus, delays[pe], periodPs, opts, res))
+			pr, err := spawnProcess(ctx, k, d, pe, key, task.Entry, bus, delays[pe], periodPs, opts, res)
+			if err != nil {
+				return nil, err
+			}
+			runs = append(runs, pr)
 		}
 	}
 	end, err := k.RunCtx(ctx)
@@ -228,10 +241,10 @@ func Run(d *platform.Design, opts Options) (*Result, error) {
 	// Harvest what every process produced, even on failure: a cancelled or
 	// timed-out run still yields its partial streams and counters.
 	for _, pr := range runs {
-		res.OutByPE[pr.key] = append([]int32(nil), pr.m.Out...)
-		res.Steps += pr.m.Steps
+		res.OutByPE[pr.key] = append([]int32(nil), pr.m.OutStream()...)
+		res.Steps += pr.m.StepCount()
 		if opts.Profile {
-			res.BlockCountsByPE[pr.key] = pr.m.BlockCounts
+			res.BlockCountsByPE[pr.key] = pr.m.BlockCountsMap()
 		}
 		if pr.task != nil {
 			res.CyclesByPE[pr.key] = pr.task.CPUCycles
@@ -285,13 +298,19 @@ func Run(d *platform.Design, opts Options) (*Result, error) {
 
 // spawnProcess wires a plain (non-RTOS) process onto the kernel.
 func spawnProcess(ctx context.Context, k *sim.Kernel, d *platform.Design, pe *platform.PE, key, entry string,
-	bus *Bus, dm map[*cdfg.Block]float64, periodPs sim.Time, opts Options, res *Result) *procRun {
+	bus *Bus, dm map[*cdfg.Block]float64, periodPs sim.Time, opts Options, res *Result) (*procRun, error) {
 	pr := &procRun{key: key, pe: pe}
-	m := interp.New(d.Program)
-	m.Limit = opts.StepLimit
-	m.Ctx = ctx
+	m, err := interp.NewEngine(d.Program, opts.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("tlm: process %s: %w", key, err)
+	}
+	m.SetLimit(opts.StepLimit)
+	m.SetContext(ctx)
 	if opts.Profile {
 		m.EnableProfile()
+	}
+	if opts.Timed {
+		m.SetDelays(dm)
 	}
 	pr.m = m
 	k.Spawn(key, func(p *sim.Process) {
@@ -311,42 +330,38 @@ func spawnProcess(ctx context.Context, k *sim.Kernel, d *platform.Design, pe *pl
 				opts.Events.Slice(track, "compute", from, to)
 			}
 		}
-		var pendingCycles float64
+		// Timed, transaction-boundary mode: each block's delay pools inside
+		// the engine and is applied as one kernel wait at each transaction.
 		drain := func() {
-			if pendingCycles > 0 {
+			if pending := m.TakePending(); pending > 0 {
 				start := p.Now()
-				p.Wait(sim.Time(pendingCycles) * periodPs)
+				p.Wait(sim.Time(pending) * periodPs)
 				ran(start, p.Now())
-				res.CyclesByPE[key] += uint64(pendingCycles)
-				pendingCycles = 0
+				res.CyclesByPE[key] += uint64(pending)
 			}
 		}
-		if opts.Timed {
-			if opts.WaitMode == WaitPerBlock {
-				m.OnBlock = func(b *cdfg.Block) error {
-					delay := dm[b]
-					if delay > 0 {
-						start := p.Now()
-						p.Wait(sim.Time(delay) * periodPs)
-						ran(start, p.Now())
-						res.CyclesByPE[key] += uint64(delay)
-					}
-					return nil
+		if opts.Timed && opts.WaitMode == WaitPerBlock {
+			m.SetOnDelay(func(delay float64) error {
+				if delay > 0 {
+					start := p.Now()
+					p.Wait(sim.Time(delay) * periodPs)
+					ran(start, p.Now())
+					res.CyclesByPE[key] += uint64(delay)
 				}
-			} else {
-				m.OnBlock = func(b *cdfg.Block) error { pendingCycles += dm[b]; return nil }
-			}
+				return nil
+			})
 		}
-		m.Send = func(ch int, data []int32) error {
-			drain()
-			bus.Send(p, ch, data)
-			return nil
-		}
-		m.Recv = func(ch int, buf []int32) error {
-			drain()
-			bus.Recv(p, ch, buf)
-			return nil
-		}
+		m.SetChannels(
+			func(ch int, data []int32) error {
+				drain()
+				bus.Send(p, ch, data)
+				return nil
+			},
+			func(ch int, buf []int32) error {
+				drain()
+				bus.Recv(p, ch, buf)
+				return nil
+			})
 		if err := m.Run(entry); err != nil {
 			pr.err = err
 			k.Stop()
@@ -354,64 +369,65 @@ func spawnProcess(ctx context.Context, k *sim.Kernel, d *platform.Design, pe *pl
 		}
 		drain()
 	})
-	return pr
+	return pr, nil
 }
 
 // spawnRTOSTask wires one RTOS-managed task: its block delays consume the
 // shared CPU through the RTOS arbiter, and communication releases the CPU
 // while blocked (the timed RTOS model).
 func spawnRTOSTask(ctx context.Context, k *sim.Kernel, d *platform.Design, pe *platform.PE, tk platform.SWTask,
-	cpu *rtos.CPU, bus *Bus, dm map[*cdfg.Block]float64, opts Options) *procRun {
+	cpu *rtos.CPU, bus *Bus, dm map[*cdfg.Block]float64, opts Options) (*procRun, error) {
 	key := pe.Name + "/" + tk.Name
 	pr := &procRun{key: key, pe: pe}
 	task := cpu.AddTask(tk.Name, tk.Priority)
 	pr.task = task
-	m := interp.New(d.Program)
-	m.Limit = opts.StepLimit
-	m.Ctx = ctx
+	m, err := interp.NewEngine(d.Program, opts.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("tlm: process %s: %w", key, err)
+	}
+	m.SetLimit(opts.StepLimit)
+	m.SetContext(ctx)
 	if opts.Profile {
 		m.EnableProfile()
 	}
+	m.SetDelays(dm)
 	pr.m = m
 	k.Spawn(key, func(p *sim.Process) {
 		cpu.Bind(task, p)
-		var pendingCycles float64
 		drain := func() error {
-			if pendingCycles > 0 {
-				if err := cpu.Consume(task, uint64(pendingCycles)); err != nil {
+			if pending := m.TakePending(); pending > 0 {
+				if err := cpu.Consume(task, uint64(pending)); err != nil {
 					return err
 				}
-				pendingCycles = 0
 			}
 			return nil
 		}
 		if opts.WaitMode == WaitPerBlock {
-			m.OnBlock = func(b *cdfg.Block) error {
-				if delay := dm[b]; delay > 0 {
+			m.SetOnDelay(func(delay float64) error {
+				if delay > 0 {
 					if err := cpu.Consume(task, uint64(delay)); err != nil {
 						return err
 					}
 					cpu.SchedulingPoint(task)
 				}
 				return nil
-			}
-		} else {
-			m.OnBlock = func(b *cdfg.Block) error { pendingCycles += dm[b]; return nil }
+			})
 		}
-		m.Send = func(ch int, data []int32) error {
-			if err := drain(); err != nil {
-				return err
-			}
-			cpu.SchedulingPoint(task)
-			return cpu.Block(task, func() { bus.Send(p, ch, data) })
-		}
-		m.Recv = func(ch int, buf []int32) error {
-			if err := drain(); err != nil {
-				return err
-			}
-			cpu.SchedulingPoint(task)
-			return cpu.Block(task, func() { bus.Recv(p, ch, buf) })
-		}
+		m.SetChannels(
+			func(ch int, data []int32) error {
+				if err := drain(); err != nil {
+					return err
+				}
+				cpu.SchedulingPoint(task)
+				return cpu.Block(task, func() { bus.Send(p, ch, data) })
+			},
+			func(ch int, buf []int32) error {
+				if err := drain(); err != nil {
+					return err
+				}
+				cpu.SchedulingPoint(task)
+				return cpu.Block(task, func() { bus.Recv(p, ch, buf) })
+			})
 		if err := m.Run(tk.Entry); err != nil {
 			pr.err = err
 			k.Stop()
@@ -424,7 +440,7 @@ func spawnRTOSTask(ctx context.Context, k *sim.Kernel, d *platform.Design, pe *p
 		}
 		cpu.Finish(task)
 	})
-	return pr
+	return pr, nil
 }
 
 // RunFunctional executes the untimed (functional) TLM.
