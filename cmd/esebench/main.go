@@ -7,6 +7,11 @@
 //
 //	esebench [-frames N] [-table 1|2|3] [-ablation sensitivity|granularity|pumdetail] [-all]
 //
+//	-validate     run the cross-model validation suite instead of the
+//	              experiments: static verification and the
+//	              tree/compiled/board differential over every example
+//	              design, the metamorphic estimator invariants, and the
+//	              seeded-mutation corpus (every corruption must be caught)
 //	-metrics      print the pipeline's internal metrics snapshot at exit
 //	-pprof ADDR   serve net/http/pprof on ADDR (e.g. localhost:6060) for
 //	              the duration of the run
@@ -24,6 +29,7 @@ import (
 	"os"
 	"time"
 
+	"ese"
 	"ese/internal/apps"
 	"ese/internal/cli"
 	"ese/internal/engine"
@@ -37,6 +43,7 @@ func main() {
 	table := flag.Int("table", 0, "reproduce one table (1, 2 or 3)")
 	ablation := flag.String("ablation", "", "run one ablation: sensitivity, granularity, pumdetail, rtos, overlap")
 	all := flag.Bool("all", false, "run every table and ablation")
+	validate := flag.Bool("validate", false, "run the cross-model validation suite and exit")
 	jsonOut := flag.Bool("json", false, "emit results as JSON lines instead of tables")
 	timeout := flag.Duration("timeout", 0, "wall-clock watchdog per pipeline run (0 = none)")
 	showMetrics := flag.Bool("metrics", false, "print the pipeline metrics snapshot at exit")
@@ -59,6 +66,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "esebench: pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
 	}
 
+	if *validate {
+		cli.Fail("esebench", ese.ValidationSuite(os.Stdout, *frames))
+		return
+	}
 	cli.Fail("esebench", run(*frames, *table, *ablation, *all, *jsonOut, *showMetrics, *timeout, benchCfg{
 		exec: *execEngine, json: *benchJSON, compare: *benchCompare,
 		reps: *benchReps, tol: *benchTol,

@@ -23,6 +23,10 @@
 //	-dump                 print the CDFG IR
 //	-strict               fail (exit 1) when the PE model does not map an
 //	                      op class the program uses
+//	-verify               statically verify the compiled IR and lint the
+//	                      PE model before estimating (exit 2 on findings)
+//	-Werror               with -verify, treat warnings (e.g. op-mapping
+//	                      coverage gaps) as errors
 //	-fallback N           cycles charged to unmapped op classes when not
 //	                      strict (graceful degradation)
 //	-timeout D            wall-clock watchdog for the whole run
@@ -56,6 +60,8 @@ type options struct {
 	dotCFG, dotDFG string
 	disasm         bool
 	strict         bool
+	verify         bool
+	werror         bool
 	fallback       int
 	timeout        time.Duration
 	profile        bool
@@ -79,6 +85,8 @@ func main() {
 	flag.StringVar(&o.dotDFG, "dot-dfg", "", "print the dot DFGs of the named function's blocks")
 	flag.BoolVar(&o.disasm, "disasm", false, "print the generated virtual-ISA assembly")
 	flag.BoolVar(&o.strict, "strict", false, "reject PE models that do not map every op class used")
+	flag.BoolVar(&o.verify, "verify", false, "statically verify the IR and lint the PE model")
+	flag.BoolVar(&o.werror, "Werror", false, "treat verification warnings as errors (implies nothing without -verify)")
 	flag.IntVar(&o.fallback, "fallback", core.DefaultFallbackCycles, "fallback cycles for unmapped op classes")
 	flag.DurationVar(&o.timeout, "timeout", 0, "wall-clock watchdog for the run (0 = none)")
 	flag.BoolVar(&o.profile, "profile", false, "execute and print the cycle-attribution profile")
@@ -125,6 +133,8 @@ func run(file string, o options) error {
 		Strict:         o.strict,
 		FallbackCycles: o.fallback,
 		Timeout:        o.timeout,
+		Verify:         o.verify,
+		Werror:         o.werror,
 	})
 	defer cli.PrintDiags("eseest", pl.Diagnostics())
 	prog, err := pl.Compile(file, string(src))

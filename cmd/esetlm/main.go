@@ -10,6 +10,10 @@
 //	-icache/-dcache N           cache sizes in bytes
 //	-engine functional|timed|board   simulation engine (default timed)
 //	-calibrate                  calibrate the PUM on the training workload
+//	-verify                     statically verify the design (IR, PE
+//	                            models, channels) before running (exit 2
+//	                            on findings)
+//	-Werror                     with -verify, treat warnings as errors
 //	-graph                      print the process/channel structure (Fig. 6)
 //	-gen                        emit the standalone Go TLM source and exit
 //	-vcd FILE                   write a VCD activity waveform (timed engine)
@@ -49,6 +53,8 @@ func main() {
 	dcache := flag.Int("dcache", 4096, "d-cache bytes (0 = uncached)")
 	engine := flag.String("engine", "timed", "functional | timed | board")
 	calibrate := flag.Bool("calibrate", true, "calibrate the PUM on the training workload")
+	verifyFlag := flag.Bool("verify", false, "statically verify the design before running")
+	werror := flag.Bool("Werror", false, "treat verification warnings as errors")
 	graph := flag.Bool("graph", false, "print the process graph and exit")
 	gen := flag.Bool("gen", false, "emit the standalone TLM source and exit")
 	vcd := flag.String("vcd", "", "write a VCD activity waveform to this file (timed engine)")
@@ -63,6 +69,7 @@ func main() {
 	cli.Fail("esetlm", run(runCfg{
 		design: *design, frames: *frames, icache: *icache, dcache: *dcache,
 		engine: *engine, calibrate: *calibrate, graph: *graph, gen: *gen,
+		verify: *verifyFlag, werror: *werror,
 		vcdPath: *vcd, traceJSON: *traceJSON,
 		profile: *profileFlag, profileJSON: *profileJSON, top: *top,
 		timeout: *timeout, exec: *execEngine,
@@ -76,6 +83,7 @@ type runCfg struct {
 	icache, dcache int
 	engine         string
 	calibrate      bool
+	verify, werror bool
 	graph, gen     bool
 	vcdPath        string
 	traceJSON      string
@@ -113,6 +121,17 @@ func run(cfgFlags runCfg) error {
 	d, err := ese.MP3Design(design, cfg, mb, ese.CacheCfg{ISize: icache, DSize: dcache})
 	if err != nil {
 		return cli.Input(err)
+	}
+	if cfgFlags.verify {
+		// One explicit design-level verification covers every engine path,
+		// including -graph/-gen/board which bypass the pipeline.
+		ds := ese.VerifyDesign(d)
+		for _, dg := range ds {
+			fmt.Fprintf(os.Stderr, "esetlm: %s\n", dg)
+		}
+		if dg, bad := ese.VerifyFailure(ds, cfgFlags.werror); bad {
+			return dg
+		}
 	}
 	if graph {
 		fmt.Print(d.Graph())

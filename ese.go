@@ -40,6 +40,8 @@
 package ese
 
 import (
+	"io"
+
 	"ese/internal/annotate"
 	"ese/internal/apps"
 	"ese/internal/cdfg"
@@ -53,6 +55,7 @@ import (
 	"ese/internal/rtl"
 	"ese/internal/rtos"
 	"ese/internal/tlm"
+	"ese/internal/verify"
 )
 
 // Core IR and model types.
@@ -117,7 +120,7 @@ type (
 	// sweep so Algorithm 1 schedules are computed once per block.
 	Pipeline = engine.Pipeline
 	// PipelineOptions configures a Pipeline (workers, cache, detail,
-	// strictness, fallback latency, watchdog timeout).
+	// strictness, fallback latency, watchdog timeout, verification).
 	PipelineOptions = engine.Options
 	// PipelineStats aggregates cache counters and degradation tallies.
 	PipelineStats = engine.Stats
@@ -158,6 +161,42 @@ func Simplify(prog *Program) { cdfg.SimplifyProgram(prog) }
 func CompileC(name, src string) (*Program, error) {
 	return defaultPipeline.Compile(name, src)
 }
+
+// Validation (see internal/verify): the static IR verifier, the PUM lint
+// and the metamorphic/differential oracle suite. The same checks run
+// inside the pipeline when PipelineOptions.Verify is set.
+
+// VerifyProgram statically verifies a lowered program against the
+// structural invariants every IR consumer assumes (terminators, target
+// ownership, operand bounds, def-before-use, DFG acyclicity). An empty
+// result means the program is well formed.
+func VerifyProgram(prog *Program) []Diagnostic { return verify.Program(prog) }
+
+// LintPUM lints a processing unit model: structural and statistical
+// consistency plus op-mapping coverage against the classes the program
+// uses, scoped to the given entry functions when provided.
+func LintPUM(p *PUM, prog *Program, entries ...string) []Diagnostic {
+	return verify.Model(p, prog, entries...)
+}
+
+// VerifyDesign verifies a mapped design end to end: the shared program,
+// platform consistency, channel topology, and every PE's model linted
+// against the op classes its own processes reach.
+func VerifyDesign(d *Design) []Diagnostic { return verify.Design(d) }
+
+// VerifyFailure returns the first diagnostic that fails a run under the
+// -Werror convention: the first Error, or the first Warning when werror
+// is set.
+func VerifyFailure(ds []Diagnostic, werror bool) (Diagnostic, bool) {
+	return verify.Failure(ds, werror)
+}
+
+// ValidationSuite runs the whole cross-model validation harness — static
+// verification, the tree/compiled/board differential, the metamorphic
+// estimator invariants and the seeded-mutation corpus — over every
+// example design, writing a one-line summary per step to w. This is what
+// `esebench -validate` runs.
+func ValidationSuite(w io.Writer, frames int) error { return verify.Suite(w, frames) }
 
 // MicroBlazePUM returns the built-in MicroBlaze-like processor model.
 func MicroBlazePUM() *PUM { return pum.MicroBlaze() }

@@ -1,7 +1,9 @@
 package cdfg
 
 import (
+	"fmt"
 	"testing"
+	"time"
 )
 
 const simplifySrc = `
@@ -113,5 +115,153 @@ func TestSimplifyGrowsAverageBlockSize(t *testing.T) {
 	SimplifyProgram(p)
 	if after := avg(); after <= before {
 		t.Fatalf("average block size did not grow: %.2f -> %.2f", before, after)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Jump-threading cycle regressions. jumpOnlyTarget follows chains of
+// jump-only blocks and must terminate when that chain closes into a cycle
+// (a lowered `for(;;);`, or IR built by hand). These tests hand-build the
+// cyclic shapes the front end can and cannot produce and lock in both
+// termination and semantic preservation; mustTerminate turns a regression
+// into a crisp failure instead of a suite-wide hang.
+
+func mustTerminate(t *testing.T, what string, run func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		run()
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("%s did not terminate (jump-threading cycle guard regressed)", what)
+	}
+}
+
+// cycleProg builds: entry computes t0 and branches to a jump-only cycle of
+// n blocks (t0 true) or to a ret block (t0 false).
+func cycleProg(n int) *Program {
+	f := &Function{Name: "main", NTemps: 1}
+	entry := &Block{ID: 0, Fn: f}
+	exit := &Block{ID: 1, Fn: f}
+	exit.Instrs = []Instr{{Op: OpRet}}
+	cyc := make([]*Block, n)
+	for i := range cyc {
+		cyc[i] = &Block{ID: 2 + i, Fn: f}
+	}
+	for i, b := range cyc {
+		b.Instrs = []Instr{{Op: OpJmp, Target: cyc[(i+1)%n]}}
+	}
+	entry.Instrs = []Instr{
+		{Op: OpMov, Dst: Temp(0), A: Const(0)},
+		{Op: OpBr, A: Temp(0), Then: cyc[0], Else: exit},
+	}
+	f.Blocks = append([]*Block{entry, exit}, cyc...)
+	return &Program{Funcs: []*Function{f}}
+}
+
+func TestSimplifyJumpOnlyCycles(t *testing.T) {
+	for _, n := range []int{1, 2, 3} {
+		p := cycleProg(n)
+		mustTerminate(t, fmt.Sprintf("Simplify on a %d-block jump-only cycle", n), func() {
+			SimplifyProgram(p)
+		})
+		f := p.Funcs[0]
+		// The branch and the ret must survive: the cycle is a reachable
+		// infinite loop, not dead code the pass may delete or reroute.
+		var brs, rets, jmps int
+		for _, b := range f.Blocks {
+			term := b.Terminator()
+			if term == nil {
+				t.Fatalf("n=%d: block bb%d lost its terminator\n%s", n, b.ID, f.Dump())
+			}
+			for i := range b.Instrs {
+				switch b.Instrs[i].Op {
+				case OpBr:
+					brs++
+				case OpRet:
+					rets++
+				case OpJmp:
+					jmps++
+				}
+			}
+		}
+		if brs != 1 || rets != 1 {
+			t.Fatalf("n=%d: semantics changed: %d branches, %d rets\n%s", n, brs, rets, f.Dump())
+		}
+		if jmps == 0 {
+			t.Fatalf("n=%d: the reachable jump-only cycle was deleted\n%s", n, f.Dump())
+		}
+		// Threading across the cycle must not have created edges that leave
+		// the function or dangle.
+		inFunc := make(map[*Block]bool)
+		for _, b := range f.Blocks {
+			inFunc[b] = true
+		}
+		for _, b := range f.Blocks {
+			for _, s := range b.Succs() {
+				if s == nil || !inFunc[s] {
+					t.Fatalf("n=%d: bb%d has a dangling successor\n%s", n, b.ID, f.Dump())
+				}
+			}
+		}
+	}
+}
+
+func TestSimplifyUnreachableJumpCycleRemoved(t *testing.T) {
+	// A jump-only cycle not reachable from entry must be dropped entirely,
+	// cycles included, without spinning.
+	f := &Function{Name: "main"}
+	entry := &Block{ID: 0, Fn: f, Instrs: []Instr{{Op: OpRet}}}
+	a := &Block{ID: 1, Fn: f}
+	b := &Block{ID: 2, Fn: f}
+	a.Instrs = []Instr{{Op: OpJmp, Target: b}}
+	b.Instrs = []Instr{{Op: OpJmp, Target: a}}
+	f.Blocks = []*Block{entry, a, b}
+	p := &Program{Funcs: []*Function{f}}
+	mustTerminate(t, "Simplify on an unreachable jump cycle", func() { SimplifyProgram(p) })
+	if len(f.Blocks) != 1 || f.Blocks[0] != entry {
+		t.Fatalf("unreachable cycle survived: %d blocks\n%s", len(f.Blocks), f.Dump())
+	}
+}
+
+func TestSimplifyThreadsThroughTrampolines(t *testing.T) {
+	// The classic diamond through two jump-only trampolines: threading must
+	// retarget both branch arms to the join block and the cleanup must
+	// leave a compact, semantically identical CFG.
+	f := &Function{Name: "main", NTemps: 1}
+	entry := &Block{ID: 0, Fn: f}
+	j1 := &Block{ID: 1, Fn: f}
+	j2 := &Block{ID: 2, Fn: f}
+	join := &Block{ID: 3, Fn: f}
+	join.Instrs = []Instr{{Op: OpOut, A: Temp(0)}, {Op: OpRet}}
+	j1.Instrs = []Instr{{Op: OpJmp, Target: join}}
+	j2.Instrs = []Instr{{Op: OpJmp, Target: join}}
+	entry.Instrs = []Instr{
+		{Op: OpMov, Dst: Temp(0), A: Const(7)},
+		{Op: OpBr, A: Temp(0), Then: j1, Else: j2},
+	}
+	f.Blocks = []*Block{entry, j1, j2, join}
+	p := &Program{Funcs: []*Function{f}}
+	mustTerminate(t, "Simplify on a trampoline diamond", func() { SimplifyProgram(p) })
+	if len(f.Blocks) != 2 {
+		t.Fatalf("trampolines not threaded away: %d blocks\n%s", len(f.Blocks), f.Dump())
+	}
+	term := f.Entry().Terminator()
+	if term.Op != OpBr || term.Then != term.Else {
+		t.Fatalf("branch arms not rerouted to the join block\n%s", f.Dump())
+	}
+	outs := 0
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == OpOut {
+				outs++
+			}
+		}
+	}
+	if outs != 1 {
+		t.Fatalf("observable instruction count changed: %d outs\n%s", outs, f.Dump())
 	}
 }

@@ -45,8 +45,10 @@ func Input(err error) error {
 }
 
 // ExitCode classifies an error into the shared exit-code convention.
-// Unreadable files and front-end diagnostics (parse/check/lower stages)
-// count as input errors even when not explicitly wrapped.
+// Unreadable files and front-end diagnostics (parse/check/lower/verify
+// stages) count as input errors even when not explicitly wrapped — a
+// verification failure means the input program or model is malformed,
+// not that the tool broke.
 func ExitCode(err error) int {
 	if err == nil {
 		return ExitOK
@@ -61,7 +63,7 @@ func ExitCode(err error) int {
 	var d diag.Diagnostic
 	if errors.As(err, &d) {
 		switch d.Stage {
-		case diag.StageParse, diag.StageCheck, diag.StageLower:
+		case diag.StageParse, diag.StageCheck, diag.StageLower, diag.StageVerify:
 			return ExitUsage
 		}
 	}

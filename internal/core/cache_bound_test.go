@@ -1,0 +1,60 @@
+package core
+
+import "testing"
+
+// TestBoundedCacheNeverEvictsJustInsertedKey locks the eviction policy of
+// the bounded cache at its tightest setting, limit 1: re-putting the
+// resident key must not evict anything, and inserting a new key must
+// evict the old entry — never the key being inserted. Without the
+// residency check a full cache would pick its own incoming key as the
+// victim, making every put at the bound a guaranteed future miss and the
+// cache useless at small limits.
+func TestBoundedCacheNeverEvictsJustInsertedKey(t *testing.T) {
+	c := NewCacheLimit(1)
+	k1 := schedKey{fallback: 1}
+	k2 := schedKey{fallback: 2}
+
+	c.schedPut(k1, SchedResult{Sched: 11})
+	c.schedPut(k1, SchedResult{Sched: 12}) // overwrite in place, no eviction
+	if ev := c.Stats().Evictions; ev != 0 {
+		t.Fatalf("re-putting the resident key evicted %d entries", ev)
+	}
+	if sr, ok := c.schedGet(k1); !ok || sr.Sched != 12 {
+		t.Fatalf("resident key lost on overwrite: ok=%v sr=%+v", ok, sr)
+	}
+
+	c.schedPut(k2, SchedResult{Sched: 20})
+	if sr, ok := c.schedGet(k2); !ok || sr.Sched != 20 {
+		t.Fatal("bounded cache evicted the key it just inserted")
+	}
+	if _, ok := c.schedGet(k1); ok {
+		t.Fatal("old entry survived past the limit")
+	}
+	if s, _ := c.Len(); s != 1 {
+		t.Fatalf("schedule map holds %d entries at limit 1", s)
+	}
+	if ev := c.Stats().Evictions; ev != 1 {
+		t.Fatalf("want exactly 1 eviction, got %d", ev)
+	}
+}
+
+// TestBoundedCacheEstimateSide is the same regression for the estimate
+// map, which has its own copy of the put path.
+func TestBoundedCacheEstimateSide(t *testing.T) {
+	c := NewCacheLimit(1)
+	k1 := estKey{fallback: 1}
+	k2 := estKey{fallback: 2}
+
+	c.estPut(k1, Estimate{Sched: 1})
+	c.estPut(k1, Estimate{Sched: 2})
+	if ev := c.Stats().Evictions; ev != 0 {
+		t.Fatalf("re-putting the resident key evicted %d entries", ev)
+	}
+	c.estPut(k2, Estimate{Sched: 3})
+	if e, ok := c.estGet(k2); !ok || e.Sched != 3 {
+		t.Fatal("bounded cache evicted the key it just inserted")
+	}
+	if _, e := c.Len(); e != 1 {
+		t.Fatalf("estimate map holds %d entries at limit 1", e)
+	}
+}

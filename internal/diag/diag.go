@@ -57,6 +57,7 @@ const (
 	StageCheck    Stage = "check"
 	StageLower    Stage = "lower"
 	StageSimplify Stage = "simplify"
+	StageVerify   Stage = "verify"
 	StageAnnotate Stage = "annotate"
 	StageSimulate Stage = "simulate"
 	StageGenerate Stage = "generate"

@@ -35,6 +35,7 @@ import (
 	"ese/internal/platform"
 	"ese/internal/pum"
 	"ese/internal/tlm"
+	"ese/internal/verify"
 )
 
 // Options configures a Pipeline.
@@ -72,6 +73,14 @@ type Options struct {
 	// engine with tree-walker fallback. A per-run tlm.Options.Engine other
 	// than auto takes precedence.
 	Engine interp.EngineKind
+	// Verify runs the static IR verifier after the front end (CompileCtx),
+	// the PUM lint before annotation (AnnotateCtx and friends), and the
+	// full design verification before simulation (SimulateCtx). Findings
+	// land in Diagnostics(); Error-severity findings fail the stage.
+	Verify bool
+	// Werror promotes verification Warnings (e.g. op-mapping coverage
+	// gaps) to stage failures. Only meaningful with Verify.
+	Werror bool
 }
 
 // Stats aggregates the pipeline's observability counters: the
@@ -189,6 +198,22 @@ func (pl *Pipeline) withTimeout(ctx context.Context) (context.Context, context.C
 	return ctx, func() {}
 }
 
+// runVerify records verification findings in the pipeline's diagnostic
+// sink and returns the first failing one under the Werror convention
+// (Errors always fail, Warnings fail only with Options.Werror). A nil
+// return means the artifact may proceed.
+func (pl *Pipeline) runVerify(ds []diag.Diagnostic) error {
+	start := time.Now()
+	for _, d := range ds {
+		pl.diags.Add(d)
+	}
+	pl.timeStage(diag.StageVerify, start)
+	if d, bad := verify.Failure(ds, pl.opts.Werror); bad {
+		return d
+	}
+	return nil
+}
+
 // recordDegradation folds one annotation's degradation tallies into the
 // pipeline counters.
 func (pl *Pipeline) recordDegradation(a *annotate.Annotated) {
@@ -256,6 +281,12 @@ func (pl *Pipeline) CompileCtx(ctx context.Context, name, src string) (*cdfg.Pro
 			}
 			return nil
 		}},
+		{diag.StageVerify, func() error {
+			if !pl.opts.Verify {
+				return nil
+			}
+			return pl.runVerify(verify.Program(prog))
+		}},
 	}
 	for _, s := range stages {
 		err := diag.FromContext(ctx)
@@ -265,7 +296,13 @@ func (pl *Pipeline) CompileCtx(ctx context.Context, name, src string) (*cdfg.Pro
 			pl.timeStage(s.stage, start)
 		}
 		if err != nil {
-			d := diag.Diagnostic{Severity: diag.Error, Stage: s.stage, Msg: err.Error(), Err: err}
+			var d diag.Diagnostic
+			if errors.As(err, &d) {
+				// Verification failures arrive as ready-made diagnostics,
+				// already recorded by runVerify.
+				return nil, d
+			}
+			d = diag.Diagnostic{Severity: diag.Error, Stage: s.stage, Msg: err.Error(), Err: err}
 			pl.diags.Add(d)
 			return nil, d
 		}
@@ -304,8 +341,24 @@ func (pl *Pipeline) AnnotateCtx(ctx context.Context, prog *cdfg.Program, p *pum.
 
 // AnnotateDetailCtx is AnnotateCtx with an explicit detail level.
 func (pl *Pipeline) AnnotateDetailCtx(ctx context.Context, prog *cdfg.Program, p *pum.PUM, detail core.Detail) (*annotate.Annotated, error) {
+	// Lint the model against the op classes the program uses before
+	// spending any scheduling work on it.
+	return pl.annotateDetailCtx(ctx, prog, p, detail, pl.opts.Verify)
+}
+
+// annotateDetailCtx is the shared annotation path; lint selects the PUM
+// lint, which the design-level paths disable because verify.Design has
+// already linted each PE model scoped to its own entry functions (a
+// whole-program lint would hold a hardware PE to op classes it never
+// executes).
+func (pl *Pipeline) annotateDetailCtx(ctx context.Context, prog *cdfg.Program, p *pum.PUM, detail core.Detail, lint bool) (*annotate.Annotated, error) {
 	ctx, cancel := pl.withTimeout(ctx)
 	defer cancel()
+	if lint {
+		if err := pl.runVerify(verify.Model(p, prog)); err != nil {
+			return nil, err
+		}
+	}
 	var a *annotate.Annotated
 	start := time.Now()
 	err := diag.Guard(diag.StageAnnotate, func() (err error) {
@@ -339,11 +392,24 @@ func (pl *Pipeline) Delays(d *platform.Design, detail core.Detail) (map[string]m
 
 // DelaysCtx is Delays under a context: cancellation or a strict-mode
 // mapping failure aborts the per-PE annotation loop with the typed error.
+// With Options.Verify the whole design is verified first (program, PE
+// models scoped to their entries, channel topology).
 func (pl *Pipeline) DelaysCtx(ctx context.Context, d *platform.Design, detail core.Detail) (map[string]map[*cdfg.Block]float64, time.Duration, error) {
+	return pl.delaysCtx(ctx, d, detail, false)
+}
+
+// delaysCtx computes per-PE delay maps; verified says the caller already
+// ran the design-level verification, so it is not repeated.
+func (pl *Pipeline) delaysCtx(ctx context.Context, d *platform.Design, detail core.Detail, verified bool) (map[string]map[*cdfg.Block]float64, time.Duration, error) {
 	start := time.Now()
+	if pl.opts.Verify && !verified {
+		if err := pl.runVerify(verify.Design(d)); err != nil {
+			return nil, time.Since(start), err
+		}
+	}
 	out := make(map[string]map[*cdfg.Block]float64, len(d.PEs))
 	for _, pe := range d.PEs {
-		a, err := pl.AnnotateDetailCtx(ctx, d.Program, pe.PUM, detail)
+		a, err := pl.annotateDetailCtx(ctx, d.Program, pe.PUM, detail, false)
 		if err != nil {
 			return nil, time.Since(start), err
 		}
@@ -369,8 +435,13 @@ func (pl *Pipeline) Simulate(d *platform.Design, opts tlm.Options) (*tlm.Result,
 func (pl *Pipeline) SimulateCtx(ctx context.Context, d *platform.Design, opts tlm.Options) (*tlm.Result, error) {
 	ctx, cancel := pl.withTimeout(ctx)
 	defer cancel()
+	if pl.opts.Verify {
+		if err := pl.runVerify(verify.Design(d)); err != nil {
+			return nil, err
+		}
+	}
 	if opts.Timed && opts.Delays == nil {
-		dm, annoTime, err := pl.DelaysCtx(ctx, d, opts.Detail)
+		dm, annoTime, err := pl.delaysCtx(ctx, d, opts.Detail, true)
 		if err != nil {
 			return nil, err
 		}

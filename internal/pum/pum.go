@@ -19,6 +19,7 @@ package pum
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"ese/internal/cdfg"
@@ -272,24 +273,49 @@ func (p *PUM) Validate() error {
 			}
 		}
 	}
-	if p.Branch.MissRate < 0 || p.Branch.MissRate > 1 {
+	if !validRate(p.Branch.MissRate) {
 		return fmt.Errorf("pum %s: branch miss rate %v out of [0,1]", p.Name, p.Branch.MissRate)
 	}
-	if p.Branch.Penalty < 0 {
-		return fmt.Errorf("pum %s: branch penalty must be non-negative", p.Name)
+	if !validDelay(p.Branch.Penalty) {
+		return fmt.Errorf("pum %s: branch penalty %v must be non-negative and finite", p.Name, p.Branch.Penalty)
 	}
 	for cfg, st := range p.Mem.Table {
-		for _, r := range []float64{st.IHitRate, st.DHitRate} {
-			if r < 0 || r > 1 {
-				return fmt.Errorf("pum %s: hit rate %v for %v out of [0,1]", p.Name, r, cfg)
-			}
-		}
-		if st.IMissPenalty < 0 || st.DMissPenalty < 0 || st.IHitDelay < 0 || st.DHitDelay < 0 {
-			return fmt.Errorf("pum %s: negative memory latency for %v", p.Name, cfg)
+		if err := st.validate(p.Name, cfg.String()); err != nil {
+			return err
 		}
 	}
-	if p.Mem.ExtLatency < 0 {
-		return fmt.Errorf("pum %s: external latency must be non-negative", p.Name)
+	// The Current selection feeds ComposeEstimate directly, whether it came
+	// from WithCache or was set by hand — a NaN or negative value here would
+	// round straight into every block's Total.
+	if err := p.Mem.Current.validate(p.Name, "current selection"); err != nil {
+		return err
+	}
+	if !validDelay(p.Mem.ExtLatency) {
+		return fmt.Errorf("pum %s: external latency %v must be non-negative and finite", p.Name, p.Mem.ExtLatency)
+	}
+	return nil
+}
+
+// validRate reports whether r is a finite probability in [0,1]. The
+// comparison is written so that NaN fails it: both NaN<0 and NaN>1 are
+// false, which is how out-of-range statistics used to slip through.
+func validRate(r float64) bool { return r >= 0 && r <= 1 }
+
+// validDelay reports whether a latency/penalty value is finite and
+// non-negative.
+func validDelay(v float64) bool { return v >= 0 && !math.IsInf(v, 1) }
+
+// validate checks one statistical memory model entry.
+func (st MemStats) validate(name, where string) error {
+	if !validRate(st.IHitRate) || !validRate(st.DHitRate) {
+		return fmt.Errorf("pum %s: hit rate (i=%v d=%v) for %s out of [0,1]",
+			name, st.IHitRate, st.DHitRate, where)
+	}
+	for _, v := range []float64{st.IMissPenalty, st.DMissPenalty, st.IHitDelay, st.DHitDelay} {
+		if !validDelay(v) {
+			return fmt.Errorf("pum %s: memory latency %v for %s must be non-negative and finite",
+				name, v, where)
+		}
 	}
 	return nil
 }

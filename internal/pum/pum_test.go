@@ -1,6 +1,7 @@
 package pum
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -192,6 +193,58 @@ func TestConfigsSorted(t *testing.T) {
 		a, b := cfgs[i-1], cfgs[i]
 		if a.ISize > b.ISize || (a.ISize == b.ISize && a.DSize > b.DSize) {
 			t.Fatalf("configs not sorted: %v", cfgs)
+		}
+	}
+}
+
+// TestValidateRejectsBadStatistics is the regression test for the
+// statistical-model validation hole: hit rates outside [0,1], NaN/Inf
+// statistics and negative penalties — in the table, the branch model or
+// the *current* memory selection — used to pass Validate and flow as-is
+// into ComposeEstimate, which rounds the poisoned sum into Total. Every
+// corruption below must now be rejected.
+func TestValidateRejectsBadStatistics(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name    string
+		corrupt func(p *PUM)
+	}{
+		{"current i-hit rate above one", func(p *PUM) { p.Mem.Current.IHitRate = 1.5 }},
+		{"current d-hit rate negative", func(p *PUM) { p.Mem.Current.DHitRate = -0.1 }},
+		{"current i-hit rate NaN", func(p *PUM) { p.Mem.Current.IHitRate = nan }},
+		{"current d-miss penalty NaN", func(p *PUM) { p.Mem.Current.DMissPenalty = nan }},
+		{"current i-miss penalty negative", func(p *PUM) { p.Mem.Current.IMissPenalty = -4 }},
+		{"current d-hit delay infinite", func(p *PUM) { p.Mem.Current.DHitDelay = math.Inf(1) }},
+		{"table hit rate NaN", func(p *PUM) {
+			for cfg, st := range p.Mem.Table {
+				st.IHitRate = nan
+				p.Mem.Table[cfg] = st
+				break
+			}
+		}},
+		{"table hit rate above one", func(p *PUM) {
+			for cfg, st := range p.Mem.Table {
+				st.DHitRate = 2
+				p.Mem.Table[cfg] = st
+				break
+			}
+		}},
+		{"branch miss rate NaN", func(p *PUM) { p.Branch.MissRate = nan }},
+		{"branch penalty negative", func(p *PUM) { p.Branch.Penalty = -1 }},
+		{"branch penalty NaN", func(p *PUM) { p.Branch.Penalty = nan }},
+		{"external latency NaN", func(p *PUM) { p.Mem.ExtLatency = nan }},
+	}
+	for _, tc := range cases {
+		p, err := MicroBlaze().WithCache(CacheCfg{ISize: 8192, DSize: 4096})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("baseline model invalid: %v", err)
+		}
+		tc.corrupt(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted the corrupted model", tc.name)
 		}
 	}
 }

@@ -1,0 +1,464 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"ese/internal/apps"
+	"ese/internal/cdfg"
+	"ese/internal/interp"
+	"ese/internal/pum"
+)
+
+// Mutation is one seeded corruption of the IR or the PUM. Apply mutates
+// the given program/model in place and reports whether the mutation site
+// existed (a corpus entry that finds no site on the reference program is
+// a corpus bug, and RunCorpus fails on it). The corpus is deterministic:
+// every mutator picks its site by fixed program order, so a run is
+// reproducible without a seed value.
+type Mutation struct {
+	Name  string
+	Kind  string // "ir", "pum" or "semantic"
+	Apply func(prog *cdfg.Program, p *pum.PUM) bool
+}
+
+// findInstr returns the first (function, block, index) whose instruction
+// satisfies pred, in program order.
+func findInstr(prog *cdfg.Program, pred func(fn *cdfg.Function, in *cdfg.Instr) bool) (*cdfg.Function, *cdfg.Block, int) {
+	for _, fn := range prog.Funcs {
+		for _, b := range fn.Blocks {
+			for i := range b.Instrs {
+				if pred(fn, &b.Instrs[i]) {
+					return fn, b, i
+				}
+			}
+		}
+	}
+	return nil, nil, -1
+}
+
+// mutateOps rewrites every instruction satisfying pred, returning the
+// count rewritten.
+func mutateOps(prog *cdfg.Program, pred func(in *cdfg.Instr) bool, rewrite func(in *cdfg.Instr)) int {
+	n := 0
+	for _, fn := range prog.Funcs {
+		for _, b := range fn.Blocks {
+			for i := range b.Instrs {
+				if pred(&b.Instrs[i]) {
+					rewrite(&b.Instrs[i])
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// insertAt inserts an instruction at position i of the block.
+func insertAt(b *cdfg.Block, i int, in cdfg.Instr) {
+	b.Instrs = append(b.Instrs, cdfg.Instr{})
+	copy(b.Instrs[i+1:], b.Instrs[i:])
+	b.Instrs[i] = in
+}
+
+// Corpus returns the seeded-mutation corpus: structural IR corruptions
+// and statistical/structural PUM corruptions that the static verifier
+// must flag, plus semantically visible IR changes that must trip the
+// golden differential oracle. Every entry must be caught by one of the
+// two — that is the acceptance bar RunCorpus enforces.
+func Corpus() []Mutation {
+	return []Mutation{
+		// --- structural IR corruptions: the static verifier must flag these.
+		{Name: "ir-drop-terminator", Kind: "ir", Apply: func(prog *cdfg.Program, p *pum.PUM) bool {
+			for _, fn := range prog.Funcs {
+				for _, b := range fn.Blocks {
+					if len(b.Instrs) >= 2 {
+						b.Instrs = b.Instrs[:len(b.Instrs)-1]
+						return true
+					}
+				}
+			}
+			return false
+		}},
+		{Name: "ir-midblock-terminator", Kind: "ir", Apply: func(prog *cdfg.Program, p *pum.PUM) bool {
+			for _, fn := range prog.Funcs {
+				for _, b := range fn.Blocks {
+					if len(b.Instrs) >= 2 {
+						insertAt(b, 0, cdfg.Instr{Op: cdfg.OpJmp, Target: b})
+						return true
+					}
+				}
+			}
+			return false
+		}},
+		{Name: "ir-foreign-jump-target", Kind: "ir", Apply: func(prog *cdfg.Program, p *pum.PUM) bool {
+			fn, b, i := findInstr(prog, func(fn *cdfg.Function, in *cdfg.Instr) bool {
+				return in.Op == cdfg.OpJmp
+			})
+			if b == nil {
+				return false
+			}
+			for _, other := range prog.Funcs {
+				if other != fn && len(other.Blocks) > 0 {
+					b.Instrs[i].Target = other.Blocks[0]
+					return true
+				}
+			}
+			return false
+		}},
+		{Name: "ir-nil-branch-arm", Kind: "ir", Apply: func(prog *cdfg.Program, p *pum.PUM) bool {
+			_, b, i := findInstr(prog, func(fn *cdfg.Function, in *cdfg.Instr) bool {
+				return in.Op == cdfg.OpBr
+			})
+			if b == nil {
+				return false
+			}
+			b.Instrs[i].Else = nil
+			return true
+		}},
+		{Name: "ir-nil-jump-target", Kind: "ir", Apply: func(prog *cdfg.Program, p *pum.PUM) bool {
+			_, b, i := findInstr(prog, func(fn *cdfg.Function, in *cdfg.Instr) bool {
+				return in.Op == cdfg.OpJmp
+			})
+			if b == nil {
+				return false
+			}
+			b.Instrs[i].Target = nil
+			return true
+		}},
+		{Name: "ir-temp-index-oob", Kind: "ir", Apply: func(prog *cdfg.Program, p *pum.PUM) bool {
+			fn, b, i := findInstr(prog, func(fn *cdfg.Function, in *cdfg.Instr) bool {
+				return in.Dst.Kind == cdfg.RefTemp
+			})
+			if b == nil {
+				return false
+			}
+			b.Instrs[i].Dst.Idx = fn.NTemps + 7
+			return true
+		}},
+		{Name: "ir-temp-index-negative", Kind: "ir", Apply: func(prog *cdfg.Program, p *pum.PUM) bool {
+			_, b, i := findInstr(prog, func(fn *cdfg.Function, in *cdfg.Instr) bool {
+				return in.A.Kind == cdfg.RefTemp
+			})
+			if b == nil {
+				return false
+			}
+			b.Instrs[i].A.Idx = -1
+			return true
+		}},
+		{Name: "ir-slot-index-oob", Kind: "ir", Apply: func(prog *cdfg.Program, p *pum.PUM) bool {
+			fn, b, i := findInstr(prog, func(fn *cdfg.Function, in *cdfg.Instr) bool {
+				return in.A.Kind == cdfg.RefSlot
+			})
+			if b == nil {
+				return false
+			}
+			b.Instrs[i].A.Idx = len(fn.Slots) + 3
+			return true
+		}},
+		{Name: "ir-global-index-oob", Kind: "ir", Apply: func(prog *cdfg.Program, p *pum.PUM) bool {
+			_, b, i := findInstr(prog, func(fn *cdfg.Function, in *cdfg.Instr) bool {
+				return in.A.Kind == cdfg.RefGlobal || in.Arr.Kind == cdfg.RefGlobal
+			})
+			if b == nil {
+				return false
+			}
+			if b.Instrs[i].A.Kind == cdfg.RefGlobal {
+				b.Instrs[i].A.Idx = len(prog.Globals) + 5
+			} else {
+				b.Instrs[i].Arr.Idx = len(prog.Globals) + 5
+			}
+			return true
+		}},
+		{Name: "ir-use-undefined-temp", Kind: "ir", Apply: func(prog *cdfg.Program, p *pum.PUM) bool {
+			if len(prog.Funcs) == 0 {
+				return false
+			}
+			fn := prog.Funcs[0]
+			t := fn.NTemps
+			fn.NTemps++
+			insertAt(fn.Entry(), 0, cdfg.Instr{Op: cdfg.OpOut, A: cdfg.Temp(t)})
+			return true
+		}},
+		{Name: "ir-call-arity", Kind: "ir", Apply: func(prog *cdfg.Program, p *pum.PUM) bool {
+			_, b, i := findInstr(prog, func(fn *cdfg.Function, in *cdfg.Instr) bool {
+				return in.Op == cdfg.OpCall && len(in.Args) > 0
+			})
+			if b == nil {
+				return false
+			}
+			b.Instrs[i].Args = b.Instrs[i].Args[:len(b.Instrs[i].Args)-1]
+			return true
+		}},
+		{Name: "ir-unknown-callee", Kind: "ir", Apply: func(prog *cdfg.Program, p *pum.PUM) bool {
+			_, b, i := findInstr(prog, func(fn *cdfg.Function, in *cdfg.Instr) bool {
+				return in.Op == cdfg.OpCall
+			})
+			if b == nil {
+				return false
+			}
+			b.Instrs[i].Callee = &cdfg.Function{Name: "phantom"}
+			return true
+		}},
+		{Name: "ir-array-read-as-scalar", Kind: "ir", Apply: func(prog *cdfg.Program, p *pum.PUM) bool {
+			_, b, i := findInstr(prog, func(fn *cdfg.Function, in *cdfg.Instr) bool {
+				return in.Op == cdfg.OpLoad
+			})
+			if b == nil {
+				return false
+			}
+			b.Instrs[i].A = b.Instrs[i].Arr
+			return true
+		}},
+		{Name: "ir-scalar-array-base", Kind: "ir", Apply: func(prog *cdfg.Program, p *pum.PUM) bool {
+			_, b, i := findInstr(prog, func(fn *cdfg.Function, in *cdfg.Instr) bool {
+				return in.Op == cdfg.OpLoad
+			})
+			if b == nil {
+				return false
+			}
+			b.Instrs[i].Arr = cdfg.Temp(0)
+			return true
+		}},
+		{Name: "ir-write-array-as-scalar", Kind: "ir", Apply: func(prog *cdfg.Program, p *pum.PUM) bool {
+			for _, fn := range prog.Funcs {
+				arr := -1
+				for si, s := range fn.Slots {
+					if s.IsArray {
+						arr = si
+						break
+					}
+				}
+				if arr < 0 {
+					continue
+				}
+				for _, b := range fn.Blocks {
+					for i := range b.Instrs {
+						if b.Instrs[i].Dst.Kind == cdfg.RefTemp {
+							b.Instrs[i].Dst = cdfg.SlotRef(arr)
+							return true
+						}
+					}
+				}
+			}
+			return false
+		}},
+		{Name: "ir-duplicate-block-id", Kind: "ir", Apply: func(prog *cdfg.Program, p *pum.PUM) bool {
+			for _, fn := range prog.Funcs {
+				if len(fn.Blocks) >= 2 {
+					fn.Blocks[1].ID = fn.Blocks[0].ID
+					return true
+				}
+			}
+			return false
+		}},
+		// --- semantic IR mutations: verifier-clean by construction, so the
+		// golden differential (Out/Steps vs the pristine program, step-
+		// limited) must catch them.
+		{Name: "sem-add-becomes-sub", Kind: "semantic", Apply: func(prog *cdfg.Program, p *pum.PUM) bool {
+			return mutateOps(prog,
+				func(in *cdfg.Instr) bool { return in.Op == cdfg.OpAdd },
+				func(in *cdfg.Instr) { in.Op = cdfg.OpSub }) > 0
+		}},
+		{Name: "sem-loop-bound-off-by-one", Kind: "semantic", Apply: func(prog *cdfg.Program, p *pum.PUM) bool {
+			return mutateOps(prog,
+				func(in *cdfg.Instr) bool { return in.Op == cdfg.OpCmpLt },
+				func(in *cdfg.Instr) { in.Op = cdfg.OpCmpLe }) > 0
+		}},
+		{Name: "sem-xor-becomes-or", Kind: "semantic", Apply: func(prog *cdfg.Program, p *pum.PUM) bool {
+			return mutateOps(prog,
+				func(in *cdfg.Instr) bool { return in.Op == cdfg.OpXor || in.Op == cdfg.OpShr },
+				func(in *cdfg.Instr) {
+					if in.Op == cdfg.OpXor {
+						in.Op = cdfg.OpOr
+					} else {
+						in.Op = cdfg.OpShl
+					}
+				}) > 0
+		}},
+		// --- PUM corruptions: the lint (through pum.Validate and the
+		// finiteness sweep) must flag every one.
+		{Name: "pum-ihit-above-one", Kind: "pum", Apply: func(prog *cdfg.Program, p *pum.PUM) bool {
+			p.Mem.Current.IHitRate = 1.5
+			return true
+		}},
+		{Name: "pum-dhit-nan", Kind: "pum", Apply: func(prog *cdfg.Program, p *pum.PUM) bool {
+			p.Mem.Current.DHitRate = math.NaN()
+			return true
+		}},
+		{Name: "pum-negative-miss-penalty", Kind: "pum", Apply: func(prog *cdfg.Program, p *pum.PUM) bool {
+			p.Mem.Current.IMissPenalty = -4
+			return true
+		}},
+		{Name: "pum-hit-delay-inf", Kind: "pum", Apply: func(prog *cdfg.Program, p *pum.PUM) bool {
+			p.Mem.Current.DHitDelay = math.Inf(1)
+			return true
+		}},
+		{Name: "pum-branch-missrate-nan", Kind: "pum", Apply: func(prog *cdfg.Program, p *pum.PUM) bool {
+			p.Branch.MissRate = math.NaN()
+			return true
+		}},
+		{Name: "pum-branch-penalty-negative", Kind: "pum", Apply: func(prog *cdfg.Program, p *pum.PUM) bool {
+			p.Branch.Penalty = -2
+			return true
+		}},
+		{Name: "pum-table-rate-oob", Kind: "pum", Apply: func(prog *cdfg.Program, p *pum.PUM) bool {
+			for cfg, st := range p.Mem.Table {
+				st.DHitRate = 2
+				p.Mem.Table[cfg] = st
+				return true
+			}
+			return false
+		}},
+		{Name: "pum-unknown-fu", Kind: "pum", Apply: func(prog *cdfg.Program, p *pum.PUM) bool {
+			info, ok := p.Ops[cdfg.ClassALU]
+			if !ok || len(info.Stages) == 0 {
+				return false
+			}
+			info.Stages[len(info.Stages)-1].FU = "bogus"
+			p.Ops[cdfg.ClassALU] = info
+			return true
+		}},
+		{Name: "pum-zero-fu-quantity", Kind: "pum", Apply: func(prog *cdfg.Program, p *pum.PUM) bool {
+			if len(p.FUs) == 0 {
+				return false
+			}
+			p.FUs[0].Quantity = 0
+			return true
+		}},
+		{Name: "pum-stage-count-mismatch", Kind: "pum", Apply: func(prog *cdfg.Program, p *pum.PUM) bool {
+			info, ok := p.Ops[cdfg.ClassMul]
+			if !ok || len(info.Stages) < 2 {
+				return false
+			}
+			info.Stages = info.Stages[:len(info.Stages)-1]
+			p.Ops[cdfg.ClassMul] = info
+			return true
+		}},
+		{Name: "pum-demand-out-of-range", Kind: "pum", Apply: func(prog *cdfg.Program, p *pum.PUM) bool {
+			info, ok := p.Ops[cdfg.ClassALU]
+			if !ok {
+				return false
+			}
+			info.Demand = 99
+			p.Ops[cdfg.ClassALU] = info
+			return true
+		}},
+		{Name: "pum-commit-before-demand", Kind: "pum", Apply: func(prog *cdfg.Program, p *pum.PUM) bool {
+			info, ok := p.Ops[cdfg.ClassALU]
+			if !ok || len(info.Stages) < 2 {
+				return false
+			}
+			info.Demand = len(info.Stages) - 1
+			info.Commit = 0
+			p.Ops[cdfg.ClassALU] = info
+			return true
+		}},
+		{Name: "pum-zero-issue-width", Kind: "pum", Apply: func(prog *cdfg.Program, p *pum.PUM) bool {
+			if len(p.Pipelines) == 0 {
+				return false
+			}
+			p.Pipelines[0].IssueWidth = 0
+			return true
+		}},
+		{Name: "pum-negative-ext-latency", Kind: "pum", Apply: func(prog *cdfg.Program, p *pum.PUM) bool {
+			p.Mem.ExtLatency = -1
+			return true
+		}},
+		{Name: "pum-unmapped-used-class", Kind: "pum", Apply: func(prog *cdfg.Program, p *pum.PUM) bool {
+			if _, ok := p.Ops[cdfg.ClassMul]; !ok {
+				return false
+			}
+			delete(p.Ops, cdfg.ClassMul)
+			return true
+		}},
+	}
+}
+
+// CorpusResult records how one mutation was detected. CaughtBy is
+// "verifier" (static verification or PUM lint flagged it), "differential"
+// (an engine errored or its Out/Steps diverged from the pristine golden
+// run), or empty when the mutation escaped — which RunCorpus's callers
+// treat as a harness failure.
+type CorpusResult struct {
+	Name     string
+	Kind     string
+	CaughtBy string
+}
+
+// corpusProg compiles the reference program for the corpus: the MP3 SW
+// design (single processor, no channels), one frame.
+func corpusProg() (*cdfg.Program, error) {
+	return apps.CompileMP3("SW", apps.MP3Config{Frames: 1, Seed: apps.DefaultMP3.Seed})
+}
+
+// RunCorpus applies every corpus mutation to a freshly compiled copy of
+// the reference program (and a fresh clone of the MicroBlaze model) and
+// classifies how it was caught. The golden Out/Steps for the differential
+// leg come from one pristine tree-engine run; mutated programs execute
+// under a step limit so a mutation that breaks loop termination is
+// bounded and counted as caught.
+func RunCorpus() ([]CorpusResult, error) {
+	golden, err := corpusProg()
+	if err != nil {
+		return nil, err
+	}
+	ref, err := interp.NewEngine(golden, interp.EngineTree)
+	if err != nil {
+		return nil, err
+	}
+	if err := ref.Run("main"); err != nil {
+		return nil, fmt.Errorf("verify: golden run: %w", err)
+	}
+	goldenOut := slices.Clone(ref.OutStream())
+	goldenSteps := ref.StepCount()
+	limit := goldenSteps*4 + 100_000
+
+	basePUM, err := pum.MicroBlaze().WithCache(pum.CacheCfg{ISize: 8 * 1024, DSize: 4 * 1024})
+	if err != nil {
+		return nil, err
+	}
+
+	var out []CorpusResult
+	for _, m := range Corpus() {
+		prog, err := corpusProg()
+		if err != nil {
+			return nil, err
+		}
+		p := basePUM.Clone()
+		if !m.Apply(prog, p) {
+			return nil, fmt.Errorf("verify: mutation %s found no site in the reference program", m.Name)
+		}
+		r := CorpusResult{Name: m.Name, Kind: m.Kind}
+		ds := Program(prog)
+		ds = append(ds, Model(p, prog, "main")...)
+		if _, failed := Failure(ds, true); failed {
+			r.CaughtBy = "verifier"
+			out = append(out, r)
+			continue
+		}
+		if diverges(prog, interp.EngineTree, limit, goldenOut, goldenSteps) ||
+			diverges(prog, interp.EngineCompiled, limit, goldenOut, goldenSteps) {
+			r.CaughtBy = "differential"
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// diverges runs the mutated program on one engine and reports whether the
+// observation differs from the golden run in any way: the engine rejects
+// the program, the run errors (including hitting the step limit), or the
+// Out stream or dynamic step count changed.
+func diverges(prog *cdfg.Program, kind interp.EngineKind, limit uint64, goldenOut []int32, goldenSteps uint64) bool {
+	m, err := interp.NewEngine(prog, kind)
+	if err != nil {
+		return true
+	}
+	m.SetLimit(limit)
+	if err := m.Run("main"); err != nil {
+		return true
+	}
+	return m.StepCount() != goldenSteps || !slices.Equal(m.OutStream(), goldenOut)
+}

@@ -1,0 +1,39 @@
+package verify
+
+import "testing"
+
+// TestMutationCorpusCaught is the acceptance bar for the seeded-mutation
+// corpus: every corruption must be caught by the static verifier/lint or
+// by the golden differential, and the corpus must stay large enough to
+// mean something (the issue requires at least 20 entries).
+func TestMutationCorpusCaught(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus compiles and runs the reference program per mutation")
+	}
+	results, err := RunCorpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) < 20 {
+		t.Fatalf("corpus shrank to %d mutations, want >= 20", len(results))
+	}
+	kinds := map[string]int{}
+	for _, r := range results {
+		kinds[r.Kind]++
+		switch {
+		case r.CaughtBy == "":
+			t.Errorf("%-28s (%s) escaped every oracle", r.Name, r.Kind)
+		case r.Kind == "ir" && r.CaughtBy != "verifier":
+			t.Errorf("%-28s: structural corruption should be caught statically, got %q", r.Name, r.CaughtBy)
+		case r.Kind == "pum" && r.CaughtBy != "verifier":
+			t.Errorf("%-28s: model corruption should be caught by the lint, got %q", r.Name, r.CaughtBy)
+		case r.Kind == "semantic" && r.CaughtBy != "differential":
+			t.Errorf("%-28s: semantic mutation should slip the verifier and trip the differential, got %q", r.Name, r.CaughtBy)
+		}
+	}
+	for _, k := range []string{"ir", "pum", "semantic"} {
+		if kinds[k] == 0 {
+			t.Errorf("corpus lost all %q mutations", k)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+
+	"ese/internal/cdfg"
+	"ese/internal/diag"
+	"ese/internal/platform"
+	"ese/internal/pum"
+)
+
+// Model lints a processing unit model against the program it will
+// estimate:
+//
+//   - structural and statistical consistency via pum.Validate (stage
+//     shapes, FU references, hit rates in [0,1], non-negative finite
+//     penalties/delays — including the current memory selection);
+//   - an independent finiteness sweep over the statistical fields, so a
+//     model mutated after Validate still cannot push NaN/Inf into
+//     ComposeEstimate;
+//   - op-mapping coverage: a Warning for every op class the program
+//     actually uses (restricted to the given entry functions when
+//     provided) that the model does not map — estimation would silently
+//     degrade those ops to the fallback latency.
+//
+// Errors mean the model must not be used; Warnings mean estimates will be
+// degraded and fail the run only under -Werror.
+func Model(p *pum.PUM, prog *cdfg.Program, entries ...string) []diag.Diagnostic {
+	var ds []diag.Diagnostic
+	errorf := func(format string, args ...any) {
+		ds = append(ds, diag.Diagnostic{
+			Severity: diag.Error, Stage: diag.StageVerify, Pos: p.Name,
+			Msg: fmt.Sprintf(format, args...),
+		})
+	}
+	if err := p.Validate(); err != nil {
+		ds = append(ds, diag.Diagnostic{
+			Severity: diag.Error, Stage: diag.StageVerify, Pos: p.Name,
+			Msg: err.Error(), Err: err,
+		})
+	}
+	// Validate's messages are precise but stop at the first failure; the
+	// finiteness sweep is redundant with it by design (defense in depth for
+	// models assembled or mutated in Go), so only add what it would miss:
+	// non-finite values that sneak past arithmetic on valid inputs.
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"branch miss rate", p.Branch.MissRate},
+		{"branch penalty", p.Branch.Penalty},
+		{"external latency", p.Mem.ExtLatency},
+		{"current i-hit rate", p.Mem.Current.IHitRate},
+		{"current d-hit rate", p.Mem.Current.DHitRate},
+		{"current i-hit delay", p.Mem.Current.IHitDelay},
+		{"current d-hit delay", p.Mem.Current.DHitDelay},
+		{"current i-miss penalty", p.Mem.Current.IMissPenalty},
+		{"current d-miss penalty", p.Mem.Current.DMissPenalty},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			errorf("statistical model field %s is %v", f.name, f.v)
+		}
+	}
+	if prog == nil {
+		return ds
+	}
+	used := UsedClasses(prog, entries...)
+	for _, cls := range sortedClasses(used) {
+		if _, ok := p.Ops[cls]; !ok {
+			ds = append(ds, diag.Diagnostic{
+				Severity: diag.Warning, Stage: diag.StageVerify, Pos: p.Name,
+				Msg: fmt.Sprintf("op class %v used by %d instructions is not mapped; estimation degrades to fallback latency",
+					cls, used[cls]),
+			})
+		}
+	}
+	return ds
+}
+
+// Design verifies a mapped platform end to end: the shared program, the
+// platform-level consistency checks, and every PE's model linted against
+// the op classes its own processes reach.
+func Design(d *platform.Design) []diag.Diagnostic {
+	ds := Program(d.Program)
+	if err := d.Validate(); err != nil {
+		ds = append(ds, diag.Diagnostic{
+			Severity: diag.Error, Stage: diag.StageVerify, Pos: d.Name,
+			Msg: err.Error(), Err: err,
+		})
+	}
+	if err := d.ValidateChannels(); err != nil {
+		ds = append(ds, diag.Diagnostic{
+			Severity: diag.Error, Stage: diag.StageVerify, Pos: d.Name,
+			Msg: err.Error(), Err: err,
+		})
+	}
+	for _, pe := range d.PEs {
+		var entries []string
+		for _, t := range pe.Processes() {
+			entries = append(entries, t.Entry)
+		}
+		for _, md := range Model(pe.PUM, d.Program, entries...) {
+			md.Pos = pe.Name + "/" + md.Pos
+			ds = append(ds, md)
+		}
+	}
+	return ds
+}

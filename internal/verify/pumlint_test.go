@@ -1,0 +1,145 @@
+package verify
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ese/internal/apps"
+	"ese/internal/cdfg"
+	"ese/internal/diag"
+	"ese/internal/pum"
+)
+
+func cachedMicroBlaze(t *testing.T) *pum.PUM {
+	t.Helper()
+	p, err := pum.MicroBlaze().WithCache(pum.CacheCfg{ISize: 8 * 1024, DSize: 4 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestModelAcceptsBuiltinModels(t *testing.T) {
+	prog, err := apps.CompileMP3("SW", apps.MP3Config{Frames: 1, Seed: apps.DefaultMP3.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []*pum.PUM{cachedMicroBlaze(t), pum.DualIssue(), pum.CustomHW("hw", 100e6)} {
+		if ds := Model(p, prog, "main"); len(ds) != 0 {
+			t.Errorf("%s: clean model flagged:\n%v", p.Name, ds)
+		}
+	}
+}
+
+func TestModelFlagsStatisticalCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(p *pum.PUM)
+	}{
+		{"hit rate above one", func(p *pum.PUM) { p.Mem.Current.IHitRate = 1.25 }},
+		{"NaN hit rate", func(p *pum.PUM) { p.Mem.Current.DHitRate = math.NaN() }},
+		{"negative penalty", func(p *pum.PUM) { p.Mem.Current.IMissPenalty = -3 }},
+		{"infinite hit delay", func(p *pum.PUM) { p.Mem.Current.DHitDelay = math.Inf(1) }},
+		{"NaN branch miss rate", func(p *pum.PUM) { p.Branch.MissRate = math.NaN() }},
+		{"negative branch penalty", func(p *pum.PUM) { p.Branch.Penalty = -1 }},
+		{"negative external latency", func(p *pum.PUM) { p.Mem.ExtLatency = -5 }},
+	}
+	for _, tc := range cases {
+		p := cachedMicroBlaze(t)
+		tc.corrupt(p)
+		if errorCount(Model(p, nil)) == 0 {
+			t.Errorf("%s: corruption not flagged", tc.name)
+		}
+	}
+}
+
+func TestModelFlagsStructuralCorruption(t *testing.T) {
+	p := cachedMicroBlaze(t)
+	info := p.Ops[cdfg.ClassALU]
+	info.Stages[len(info.Stages)-1].FU = "bogus"
+	p.Ops[cdfg.ClassALU] = info
+	if errorCount(Model(p, nil)) == 0 {
+		t.Error("unknown FU reference not flagged")
+	}
+}
+
+func TestModelWarnsOnUnmappedUsedClass(t *testing.T) {
+	prog, err := apps.CompileMP3("SW", apps.MP3Config{Frames: 1, Seed: apps.DefaultMP3.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := cachedMicroBlaze(t)
+	if _, ok := p.Ops[cdfg.ClassMul]; !ok {
+		t.Fatal("corpus assumption broken: MicroBlaze maps ClassMul")
+	}
+	delete(p.Ops, cdfg.ClassMul)
+	ds := Model(p, prog, "main")
+	found := false
+	for _, d := range ds {
+		if d.Severity == diag.Warning && strings.Contains(d.Msg, "not mapped") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing coverage warning for unmapped used class:\n%v", ds)
+	}
+	// Coverage is advisory: it must fail the run only under -Werror.
+	if _, bad := Failure(ds, false); bad {
+		t.Error("coverage warning failed the run without -Werror")
+	}
+	if _, bad := Failure(ds, true); !bad {
+		t.Error("coverage warning did not fail the run under -Werror")
+	}
+}
+
+func TestUsedClassesScopesToEntries(t *testing.T) {
+	prog := buildProg() // f uses ALU and memory ops, g only returns
+	all := UsedClasses(prog)
+	onlyG := UsedClasses(prog, "g")
+	if all[cdfg.ClassALU] == 0 {
+		t.Fatal("no ALU ops counted for the whole program")
+	}
+	if onlyG[cdfg.ClassALU] != 0 {
+		t.Errorf("ALU ops leaked into the scope of an entry that never runs them: %v", onlyG)
+	}
+	// An entry that resolves nothing falls back to the whole program.
+	if got := UsedClasses(prog, "nonexistent"); len(got) != len(all) {
+		t.Errorf("unresolved entry did not fall back to all functions")
+	}
+}
+
+func TestDesignVerifiesCleanExamples(t *testing.T) {
+	designs, err := ExampleDesigns(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range designs {
+		if ds := Design(d); len(ds) != 0 {
+			t.Errorf("%s: clean design flagged:\n%v", d.Name, ds)
+		}
+	}
+}
+
+func TestDesignFlagsCorruptPE(t *testing.T) {
+	designs, err := ExampleDesigns(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := designs[0]
+	d.PEs[0].PUM.Mem.Current.IHitRate = math.NaN()
+	ds := Design(d)
+	if errorCount(ds) == 0 {
+		t.Fatal("corrupt PE model not flagged at design level")
+	}
+	// The diagnostic must name the PE so a multi-PE design is debuggable.
+	found := false
+	for _, dd := range ds {
+		if dd.Severity == diag.Error && strings.HasPrefix(dd.Pos, d.PEs[0].Name+"/") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("diagnostic does not carry the PE name prefix:\n%v", ds)
+	}
+}

@@ -1,0 +1,261 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"ese/internal/apps"
+	"ese/internal/cdfg"
+	"ese/internal/diag"
+)
+
+// buildFn assembles a small, well-formed two-function program by hand:
+//
+//	f:  bb0: t0 = 1; br t0 -> bb1, bb2
+//	    bb1: t1 = t0 + 2; s0 = t1; jmp bb3
+//	    bb2: t1 = 0; jmp bb3
+//	    bb3: store a[0] = t1; out(t1); ret
+//	g:  bb0: ret
+//
+// t1 is defined on both branch arms, so the must-defined analysis accepts
+// its use in bb3; tests then corrupt copies of this program.
+func buildProg() *cdfg.Program {
+	f := &cdfg.Function{Name: "f", NTemps: 2}
+	f.Slots = []*cdfg.Slot{
+		{Name: "x", Size: 1},
+		{Name: "a", IsArray: true, Size: 4},
+	}
+	b0 := &cdfg.Block{ID: 0, Fn: f}
+	b1 := &cdfg.Block{ID: 1, Fn: f}
+	b2 := &cdfg.Block{ID: 2, Fn: f}
+	b3 := &cdfg.Block{ID: 3, Fn: f}
+	b0.Instrs = []cdfg.Instr{
+		{Op: cdfg.OpMov, Dst: cdfg.Temp(0), A: cdfg.Const(1)},
+		{Op: cdfg.OpBr, A: cdfg.Temp(0), Then: b1, Else: b2},
+	}
+	b1.Instrs = []cdfg.Instr{
+		{Op: cdfg.OpAdd, Dst: cdfg.Temp(1), A: cdfg.Temp(0), B: cdfg.Const(2)},
+		{Op: cdfg.OpMov, Dst: cdfg.SlotRef(0), A: cdfg.Temp(1)},
+		{Op: cdfg.OpJmp, Target: b3},
+	}
+	b2.Instrs = []cdfg.Instr{
+		{Op: cdfg.OpMov, Dst: cdfg.Temp(1), A: cdfg.Const(0)},
+		{Op: cdfg.OpJmp, Target: b3},
+	}
+	b3.Instrs = []cdfg.Instr{
+		{Op: cdfg.OpStore, Arr: cdfg.SlotRef(1), A: cdfg.Const(0), B: cdfg.Temp(1)},
+		{Op: cdfg.OpOut, A: cdfg.Temp(1)},
+		{Op: cdfg.OpRet},
+	}
+	f.Blocks = []*cdfg.Block{b0, b1, b2, b3}
+
+	g := &cdfg.Function{Name: "g"}
+	gb := &cdfg.Block{ID: 0, Fn: g, Instrs: []cdfg.Instr{{Op: cdfg.OpRet}}}
+	g.Blocks = []*cdfg.Block{gb}
+
+	return &cdfg.Program{
+		Globals: []*cdfg.Global{
+			{Name: "gv", Size: 1},
+			{Name: "ga", IsArray: true, Size: 8},
+		},
+		Funcs: []*cdfg.Function{f, g},
+	}
+}
+
+func errorCount(ds []diag.Diagnostic) int {
+	n := 0
+	for _, d := range ds {
+		if d.Severity == diag.Error {
+			n++
+		}
+	}
+	return n
+}
+
+func wantError(t *testing.T, ds []diag.Diagnostic, substr string) {
+	t.Helper()
+	for _, d := range ds {
+		if d.Severity == diag.Error && strings.Contains(d.Msg, substr) {
+			return
+		}
+	}
+	t.Errorf("no error diagnostic containing %q; got:\n%v", substr, ds)
+}
+
+func TestProgramAcceptsWellFormedIR(t *testing.T) {
+	if ds := Program(buildProg()); len(ds) != 0 {
+		t.Fatalf("well-formed program rejected:\n%v", ds)
+	}
+}
+
+func TestProgramAcceptsCompiledExamples(t *testing.T) {
+	for _, name := range apps.MP3DesignNames {
+		prog, err := apps.CompileMP3(name, apps.MP3Config{Frames: 1, Seed: 0xC0FFEE})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ds := Program(prog); len(ds) != 0 {
+			t.Errorf("%s: front-end output rejected:\n%v", name, ds)
+		}
+		// The simplifier must also preserve every verified invariant.
+		cdfg.SimplifyProgram(prog)
+		if ds := Program(prog); len(ds) != 0 {
+			t.Errorf("%s: simplified program rejected:\n%v", name, ds)
+		}
+	}
+}
+
+func TestProgramFlagsStructuralCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(p *cdfg.Program)
+		substr  string
+	}{
+		{"empty block", func(p *cdfg.Program) {
+			p.Funcs[0].Blocks[3].Instrs = nil
+		}, "empty block"},
+		{"missing terminator", func(p *cdfg.Program) {
+			b := p.Funcs[0].Blocks[3]
+			b.Instrs = b.Instrs[:len(b.Instrs)-1]
+		}, "non-terminator"},
+		{"mid-block terminator", func(p *cdfg.Program) {
+			b := p.Funcs[0].Blocks[1]
+			b.Instrs[0] = cdfg.Instr{Op: cdfg.OpJmp, Target: b}
+		}, "mid-block"},
+		{"nil jump target", func(p *cdfg.Program) {
+			p.Funcs[0].Blocks[1].Instrs[2].Target = nil
+		}, "target is nil"},
+		{"nil branch arm", func(p *cdfg.Program) {
+			p.Funcs[0].Blocks[0].Instrs[1].Else = nil
+		}, "target is nil"},
+		{"foreign jump target", func(p *cdfg.Program) {
+			p.Funcs[0].Blocks[1].Instrs[2].Target = p.Funcs[1].Blocks[0]
+		}, "does not belong to function"},
+		{"duplicate block id", func(p *cdfg.Program) {
+			p.Funcs[0].Blocks[2].ID = p.Funcs[0].Blocks[1].ID
+		}, "duplicate block ID"},
+		{"temp out of range", func(p *cdfg.Program) {
+			p.Funcs[0].Blocks[1].Instrs[0].Dst.Idx = 99
+		}, "out of range"},
+		{"negative temp index", func(p *cdfg.Program) {
+			p.Funcs[0].Blocks[1].Instrs[0].A.Idx = -1
+		}, "out of range"},
+		{"slot out of range", func(p *cdfg.Program) {
+			p.Funcs[0].Blocks[1].Instrs[1].Dst.Idx = 7
+		}, "out of range"},
+		{"global out of range", func(p *cdfg.Program) {
+			p.Funcs[0].Blocks[3].Instrs[1].A = cdfg.GlobalRef(9)
+		}, "out of range"},
+		{"array slot read as scalar", func(p *cdfg.Program) {
+			p.Funcs[0].Blocks[3].Instrs[1].A = cdfg.SlotRef(1)
+		}, "as a scalar"},
+		{"array global written as scalar", func(p *cdfg.Program) {
+			p.Funcs[0].Blocks[1].Instrs[1].Dst = cdfg.GlobalRef(1)
+		}, "as a scalar"},
+		{"scalar array base", func(p *cdfg.Program) {
+			p.Funcs[0].Blocks[3].Instrs[0].Arr = cdfg.SlotRef(0)
+		}, "array base"},
+		{"const array base", func(p *cdfg.Program) {
+			p.Funcs[0].Blocks[3].Instrs[0].Arr = cdfg.Const(3)
+		}, "array base"},
+		{"missing branch condition", func(p *cdfg.Program) {
+			p.Funcs[0].Blocks[0].Instrs[1].A = cdfg.Ref{}
+		}, "missing"},
+		{"negative channel", func(p *cdfg.Program) {
+			p.Funcs[0].Blocks[3].Instrs[0] = cdfg.Instr{
+				Op: cdfg.OpSend, Arr: cdfg.SlotRef(1), A: cdfg.Const(1), Chan: -2,
+			}
+		}, "negative channel"},
+	}
+	for _, tc := range cases {
+		prog := buildProg()
+		tc.corrupt(prog)
+		ds := Program(prog)
+		if errorCount(ds) == 0 {
+			t.Errorf("%s: corruption not flagged", tc.name)
+			continue
+		}
+		wantError(t, ds, tc.substr)
+	}
+}
+
+func TestProgramFlagsCallCorruption(t *testing.T) {
+	prog := buildProg()
+	f, g := prog.Funcs[0], prog.Funcs[1]
+	// Give g one scalar and one array parameter and call it from f.
+	g.Slots = []*cdfg.Slot{
+		{Name: "n", Size: 1, IsParam: true, ParamIx: 0},
+		{Name: "buf", IsArray: true, IsParam: true, ParamIx: 1},
+	}
+	g.Params = g.Slots
+	call := cdfg.Instr{
+		Op: cdfg.OpCall, Callee: g,
+		Args: []cdfg.Ref{cdfg.Const(3), cdfg.SlotRef(1)},
+	}
+	b3 := f.Blocks[3]
+	b3.Instrs = append([]cdfg.Instr{call}, b3.Instrs...)
+	if ds := Program(prog); len(ds) != 0 {
+		t.Fatalf("well-formed call rejected:\n%v", ds)
+	}
+
+	arity := buildProg()
+	wireCall := func(p *cdfg.Program, mutate func(in *cdfg.Instr)) []diag.Diagnostic {
+		g2 := p.Funcs[1]
+		g2.Slots = []*cdfg.Slot{
+			{Name: "n", Size: 1, IsParam: true, ParamIx: 0},
+			{Name: "buf", IsArray: true, IsParam: true, ParamIx: 1},
+		}
+		g2.Params = g2.Slots
+		in := cdfg.Instr{
+			Op: cdfg.OpCall, Callee: g2,
+			Args: []cdfg.Ref{cdfg.Const(3), cdfg.SlotRef(1)},
+		}
+		mutate(&in)
+		b := p.Funcs[0].Blocks[3]
+		b.Instrs = append([]cdfg.Instr{in}, b.Instrs...)
+		return Program(p)
+	}
+	wantError(t, wireCall(arity, func(in *cdfg.Instr) { in.Args = in.Args[:1] }), "wants 2")
+	wantError(t, wireCall(buildProg(), func(in *cdfg.Instr) { in.Callee = nil }), "no callee")
+	wantError(t, wireCall(buildProg(), func(in *cdfg.Instr) {
+		in.Callee = &cdfg.Function{Name: "phantom"}
+	}), "not a function of this program")
+	wantError(t, wireCall(buildProg(), func(in *cdfg.Instr) {
+		in.Args[1] = cdfg.Const(0) // scalar where an array param is declared
+	}), "array base")
+}
+
+func TestProgramFlagsUseBeforeDef(t *testing.T) {
+	// Remove the definition of t1 on the else arm: bb3's read of t1 is now
+	// reachable undefined through bb2.
+	prog := buildProg()
+	b2 := prog.Funcs[0].Blocks[2]
+	b2.Instrs = b2.Instrs[1:] // drop "t1 = 0", keep the jmp
+	ds := Program(prog)
+	wantError(t, ds, "read before any definition")
+
+	// A definition that dominates its use (both arms define, as built) and
+	// a same-instruction read-then-write ("t0 = t0 + 1" in a loop) are fine.
+	loop := buildProg()
+	b1 := loop.Funcs[0].Blocks[1]
+	b1.Instrs[0] = cdfg.Instr{Op: cdfg.OpAdd, Dst: cdfg.Temp(0), A: cdfg.Temp(0), B: cdfg.Const(1)}
+	b1.Instrs[1] = cdfg.Instr{Op: cdfg.OpMov, Dst: cdfg.Temp(1), A: cdfg.Temp(0)}
+	if ds := Program(loop); len(ds) != 0 {
+		t.Fatalf("read-modify-write flagged:\n%v", ds)
+	}
+}
+
+func TestFailureClassification(t *testing.T) {
+	warn := diag.Diagnostic{Severity: diag.Warning, Stage: diag.StageVerify, Msg: "w"}
+	errd := diag.Diagnostic{Severity: diag.Error, Stage: diag.StageVerify, Msg: "e"}
+	info := diag.Diagnostic{Severity: diag.Info, Stage: diag.StageVerify, Msg: "i"}
+	if _, bad := Failure([]diag.Diagnostic{info, warn}, false); bad {
+		t.Error("warning failed the run without -Werror")
+	}
+	if d, bad := Failure([]diag.Diagnostic{info, warn}, true); !bad || d.Msg != "w" {
+		t.Error("-Werror did not promote the warning")
+	}
+	if d, bad := Failure([]diag.Diagnostic{warn, errd}, false); !bad || d.Msg != "e" {
+		t.Error("error diagnostic did not fail the run")
+	}
+}
