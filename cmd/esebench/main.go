@@ -27,28 +27,29 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
-	"time"
 
 	"ese"
 	"ese/internal/apps"
 	"ese/internal/cli"
-	"ese/internal/engine"
 	"ese/internal/experiments"
-	"ese/internal/interp"
+	"ese/internal/jobspec"
 	"ese/internal/pum"
 )
 
 func main() {
-	frames := flag.Int("frames", 2, "MP3 frames per run")
+	// The run-shaped options (-frames, -exec, -timeout) live in the shared
+	// job spec; everything else here selects which experiments to print.
+	spec := jobspec.DefaultTLM()
+	spec.Calibrate = true
+	spec.BindRun(flag.CommandLine)
+	flag.IntVar(&spec.Frames, "frames", spec.Frames, "MP3 frames per run")
 	table := flag.Int("table", 0, "reproduce one table (1, 2 or 3)")
 	ablation := flag.String("ablation", "", "run one ablation: sensitivity, granularity, pumdetail, rtos, overlap")
 	all := flag.Bool("all", false, "run every table and ablation")
 	validate := flag.Bool("validate", false, "run the cross-model validation suite and exit")
 	jsonOut := flag.Bool("json", false, "emit results as JSON lines instead of tables")
-	timeout := flag.Duration("timeout", 0, "wall-clock watchdog per pipeline run (0 = none)")
 	showMetrics := flag.Bool("metrics", false, "print the pipeline metrics snapshot at exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
-	execEngine := flag.String("exec", "auto", "IR execution engine for the experiment runs: auto | compiled | tree")
 	benchJSON := flag.String("bench-json", "", "measure the engine perf trajectory and write it as JSON to FILE (\"-\" = stdout)")
 	benchCompare := flag.String("bench-compare", "", "measure the engine perf trajectory and compare it against the baseline JSON in FILE")
 	benchReps := flag.Int("bench-reps", 5, "repetitions per design for -bench-json/-bench-compare (min is recorded)")
@@ -67,35 +68,37 @@ func main() {
 	}
 
 	if *validate {
-		cli.Fail("esebench", ese.ValidationSuite(os.Stdout, *frames))
+		cli.Fail("esebench", ese.ValidationSuite(os.Stdout, spec.Frames))
 		return
 	}
-	cli.Fail("esebench", run(*frames, *table, *ablation, *all, *jsonOut, *showMetrics, *timeout, benchCfg{
-		exec: *execEngine, json: *benchJSON, compare: *benchCompare,
+	cli.Fail("esebench", run(&spec, *table, *ablation, *all, *jsonOut, *showMetrics, benchCfg{
+		json: *benchJSON, compare: *benchCompare,
 		reps: *benchReps, tol: *benchTol,
 	}))
 }
 
 // benchCfg bundles the engine-benchmark flag values.
 type benchCfg struct {
-	exec          string
 	json, compare string
 	reps          int
 	tol           float64
 }
 
-func run(frames, table int, ablation string, all, jsonOut, showMetrics bool, timeout time.Duration, bench benchCfg) error {
-	execKind, err := interp.ParseEngineKind(bench.exec)
+func run(spec *jobspec.Spec, table int, ablation string, all, jsonOut, showMetrics bool, bench benchCfg) error {
+	if err := spec.Validate(); err != nil {
+		return cli.Input(err)
+	}
+	opts, err := spec.Options()
 	if err != nil {
 		return cli.Input(err)
 	}
-	eval := apps.MP3Config{Frames: frames, Seed: apps.DefaultMP3.Seed}
+	eval := apps.MP3Config{Frames: spec.Frames, Seed: apps.DefaultMP3.Seed}
 	if !jsonOut {
 		fmt.Printf("workload: MP3-like decode, %d frames (eval seed 0x%X, train seed 0x%X)\n",
-			frames, eval.Seed, apps.TrainMP3.Seed)
+			spec.Frames, eval.Seed, apps.TrainMP3.Seed)
 		fmt.Println("calibrating statistical PUM models on the training workload...")
 	}
-	s, err := experiments.NewSetupWith(eval, apps.TrainMP3, engine.Options{Timeout: timeout, Engine: execKind})
+	s, err := experiments.NewSetupWith(eval, apps.TrainMP3, opts)
 	if err != nil {
 		return err
 	}

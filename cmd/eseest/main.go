@@ -31,6 +31,10 @@
 //	                      strict (graceful degradation)
 //	-timeout D            wall-clock watchdog for the whole run
 //
+// The flag→options wiring lives in internal/jobspec, shared with esetlm,
+// esebench and the esed daemon: this command is one front end over the
+// same job spec the HTTP API accepts.
+//
 // Exit codes: 0 success, 1 runtime failure (including timeout), 2 usage or
 // input error. Diagnostics go to stderr, results to stdout.
 package main
@@ -48,35 +52,31 @@ import (
 	"ese/internal/core"
 	"ese/internal/interp"
 	"ese/internal/iss"
+	"ese/internal/jobspec"
 	"ese/internal/profile"
 )
 
-// options bundles the flag values.
-type options struct {
-	pum            string
-	icache, dcache int
+// outputs bundles the presentation-only flag values that stay outside the
+// shared job spec.
+type outputs struct {
 	emitC, emitGo  bool
 	blocks, dump   bool
 	dotCFG, dotDFG string
 	disasm         bool
-	strict         bool
-	verify         bool
-	werror         bool
-	fallback       int
-	timeout        time.Duration
 	profile        bool
 	profileJSON    string
-	entry          string
-	top            int
-	steps          uint64
-	exec           string
+	pumArg         string
 }
 
 func main() {
-	var o options
-	flag.StringVar(&o.pum, "pum", "microblaze", "PE model name or JSON file")
-	flag.IntVar(&o.icache, "icache", 8192, "i-cache size in bytes (0 = uncached)")
-	flag.IntVar(&o.dcache, "dcache", 4096, "d-cache size in bytes (0 = uncached)")
+	spec := jobspec.Default()
+	var o outputs
+	spec.BindCache(flag.CommandLine)
+	spec.BindStrict(flag.CommandLine)
+	spec.BindVerify(flag.CommandLine)
+	spec.BindRun(flag.CommandLine)
+	spec.BindProfile(flag.CommandLine)
+	flag.StringVar(&o.pumArg, "pum", "microblaze", "PE model name or JSON file")
 	flag.BoolVar(&o.emitC, "emit-c", false, "emit delay-annotated C-like source")
 	flag.BoolVar(&o.emitGo, "emit-go", false, "emit generated timed Go source")
 	flag.BoolVar(&o.blocks, "blocks", false, "print per-block estimates")
@@ -84,58 +84,28 @@ func main() {
 	flag.StringVar(&o.dotCFG, "dot-cfg", "", "print the dot CFG of the named function")
 	flag.StringVar(&o.dotDFG, "dot-dfg", "", "print the dot DFGs of the named function's blocks")
 	flag.BoolVar(&o.disasm, "disasm", false, "print the generated virtual-ISA assembly")
-	flag.BoolVar(&o.strict, "strict", false, "reject PE models that do not map every op class used")
-	flag.BoolVar(&o.verify, "verify", false, "statically verify the IR and lint the PE model")
-	flag.BoolVar(&o.werror, "Werror", false, "treat verification warnings as errors (implies nothing without -verify)")
-	flag.IntVar(&o.fallback, "fallback", core.DefaultFallbackCycles, "fallback cycles for unmapped op classes")
-	flag.DurationVar(&o.timeout, "timeout", 0, "wall-clock watchdog for the run (0 = none)")
 	flag.BoolVar(&o.profile, "profile", false, "execute and print the cycle-attribution profile")
 	flag.StringVar(&o.profileJSON, "profile-json", "", "write the attribution report as JSON to FILE (\"-\" = stdout)")
-	flag.StringVar(&o.entry, "entry", "main", "entry function for -profile")
-	flag.IntVar(&o.top, "top", 20, "rows shown by -profile (0 = all)")
-	flag.Uint64Var(&o.steps, "steps", 0, "dynamic step limit for -profile (0 = none)")
-	flag.StringVar(&o.exec, "exec", "auto", "execution engine for -profile: auto | compiled | tree")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: eseest [flags] app.c")
 		flag.Usage()
 		os.Exit(cli.ExitUsage)
 	}
-	cli.Fail("eseest", run(flag.Arg(0), o))
+	cli.Fail("eseest", run(flag.Arg(0), &spec, o))
 }
 
-func loadPUM(name string) (*ese.PUM, error) {
-	switch name {
-	case "microblaze":
-		return ese.MicroBlazePUM(), nil
-	case "customhw":
-		return ese.CustomHWPUM("customhw", 100_000_000), nil
-	case "dualissue":
-		return ese.DualIssuePUM(), nil
-	}
-	data, err := os.ReadFile(name)
-	if err != nil {
-		return nil, cli.Input(err)
-	}
-	p, err := ese.LoadPUM(data)
-	if err != nil {
-		return nil, cli.Input(err)
-	}
-	return p, nil
-}
-
-func run(file string, o options) error {
+func run(file string, spec *jobspec.Spec, o outputs) error {
 	src, err := os.ReadFile(file)
 	if err != nil {
 		return cli.Input(err)
 	}
-	pl := ese.NewPipeline(ese.PipelineOptions{
-		Strict:         o.strict,
-		FallbackCycles: o.fallback,
-		Timeout:        o.timeout,
-		Verify:         o.verify,
-		Werror:         o.werror,
-	})
+	spec.Source = jobspec.Source{Name: file, Code: string(src)}
+	opts, err := spec.Options()
+	if err != nil {
+		return cli.Input(err)
+	}
+	pl := ese.NewPipeline(opts)
 	defer cli.PrintDiags("eseest", pl.Diagnostics())
 	prog, err := pl.Compile(file, string(src))
 	if err != nil {
@@ -171,15 +141,15 @@ func run(file string, o options) error {
 		fmt.Print(iss.Disassemble(isa))
 		return nil
 	}
-	model, err := loadPUM(o.pum)
-	if err != nil {
-		return err
+	if err := spec.LoadModelArg(o.pumArg); err != nil {
+		return cli.Input(err)
 	}
-	if model.Mem.HasICache || model.Mem.HasDCache || o.icache == 0 {
-		model, err = model.WithCache(ese.CacheCfg{ISize: o.icache, DSize: o.dcache})
-		if err != nil {
-			return err
-		}
+	model, err := spec.ResolveModel()
+	if err != nil {
+		return cli.Input(err)
+	}
+	if model, err = spec.ApplyCache(model); err != nil {
+		return err
 	}
 	a, err := pl.AnnotateCtx(context.Background(), prog, model)
 	if err != nil {
@@ -187,7 +157,7 @@ func run(file string, o options) error {
 	}
 	switch {
 	case o.profile || o.profileJSON != "":
-		return runProfile(prog, model.Name, a.Est, o)
+		return runProfile(prog, model.Name, a.Est, spec, o)
 	case o.emitC:
 		fmt.Print(a.EmitTimedC())
 	case o.emitGo:
@@ -216,8 +186,8 @@ func run(file string, o options) error {
 // ranked cycle-attribution report. The dynamic total is the program's
 // estimated cycle count on the model (identical, bit for bit, to what the
 // timed TLM would accumulate for a lone PE without communication stalls).
-func runProfile(prog *ese.Program, model string, est map[*cdfg.Block]core.Estimate, o options) error {
-	kind, err := interp.ParseEngineKind(o.exec)
+func runProfile(prog *ese.Program, model string, est map[*cdfg.Block]core.Estimate, spec *jobspec.Spec, o outputs) error {
+	kind, err := spec.ExecKind()
 	if err != nil {
 		return err
 	}
@@ -226,13 +196,13 @@ func runProfile(prog *ese.Program, model string, est map[*cdfg.Block]core.Estima
 		return err
 	}
 	m.EnableProfile()
-	m.SetLimit(o.steps)
-	if o.timeout > 0 {
-		ctx, cancel := context.WithTimeout(context.Background(), o.timeout)
+	m.SetLimit(spec.Steps)
+	if spec.Timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Duration(spec.Timeout))
 		defer cancel()
 		m.SetContext(ctx)
 	}
-	if err := m.Run(o.entry); err != nil {
+	if err := m.Run(spec.Entry); err != nil {
 		return fmt.Errorf("profile run: %w", err)
 	}
 	rep, err := profile.Build("", prog,
@@ -253,7 +223,7 @@ func runProfile(prog *ese.Program, model string, est map[*cdfg.Block]core.Estima
 		}
 	}
 	if o.profile {
-		fmt.Print(rep.Text(o.top))
+		fmt.Print(rep.Text(spec.Top))
 	}
 	return nil
 }

@@ -25,6 +25,10 @@
 //	-top N                      rows shown by -profile (default 20)
 //	-timeout D                  wall-clock watchdog for the simulation
 //
+// The flag→options wiring lives in internal/jobspec, shared with eseest,
+// esebench and the esed daemon: this command is one front end over the
+// same job spec the HTTP API accepts.
+//
 // Exit codes: 0 success, 1 runtime failure (including timeout), 2 usage or
 // input error. Diagnostics go to stderr, results to stdout.
 package main
@@ -40,104 +44,70 @@ import (
 	"ese/internal/cdfg"
 	"ese/internal/cli"
 	"ese/internal/core"
-	"ese/internal/interp"
+	"ese/internal/jobspec"
 	"ese/internal/profile"
 	"ese/internal/tlm"
 	"ese/internal/trace"
 )
 
+// outputs bundles the presentation-only flag values that stay outside the
+// shared job spec.
+type outputs struct {
+	graph, gen  bool
+	vcdPath     string
+	traceJSON   string
+	profile     bool
+	profileJSON string
+	top         int
+}
+
 func main() {
-	design := flag.String("design", "SW", "design name (SW, SW+1, SW+2, SW+4)")
-	frames := flag.Int("frames", 2, "MP3 frames to decode")
-	icache := flag.Int("icache", 8192, "i-cache bytes (0 = uncached)")
-	dcache := flag.Int("dcache", 4096, "d-cache bytes (0 = uncached)")
-	engine := flag.String("engine", "timed", "functional | timed | board")
-	calibrate := flag.Bool("calibrate", true, "calibrate the PUM on the training workload")
-	verifyFlag := flag.Bool("verify", false, "statically verify the design before running")
-	werror := flag.Bool("Werror", false, "treat verification warnings as errors")
-	graph := flag.Bool("graph", false, "print the process graph and exit")
-	gen := flag.Bool("gen", false, "emit the standalone TLM source and exit")
-	vcd := flag.String("vcd", "", "write a VCD activity waveform to this file (timed engine)")
-	traceJSON := flag.String("trace-json", "", "write a Chrome trace_event timeline to this file (timed engine)")
-	profileFlag := flag.Bool("profile", false, "print the cycle-attribution report (timed engine)")
-	profileJSON := flag.String("profile-json", "", "write the attribution report as JSON to this file (\"-\" = stdout)")
-	top := flag.Int("top", 20, "rows shown by -profile (0 = all)")
-	timeout := flag.Duration("timeout", 0, "wall-clock watchdog for the simulation (0 = none)")
-	execEngine := flag.String("exec", "auto", "IR execution engine: auto | compiled | tree")
+	spec := jobspec.DefaultTLM()
+	var o outputs
+	spec.BindWorkload(flag.CommandLine)
+	spec.BindCache(flag.CommandLine)
+	spec.BindVerify(flag.CommandLine)
+	spec.BindRun(flag.CommandLine)
+	flag.BoolVar(&o.graph, "graph", false, "print the process graph and exit")
+	flag.BoolVar(&o.gen, "gen", false, "emit the standalone TLM source and exit")
+	flag.StringVar(&o.vcdPath, "vcd", "", "write a VCD activity waveform to this file (timed engine)")
+	flag.StringVar(&o.traceJSON, "trace-json", "", "write a Chrome trace_event timeline to this file (timed engine)")
+	flag.BoolVar(&o.profile, "profile", false, "print the cycle-attribution report (timed engine)")
+	flag.StringVar(&o.profileJSON, "profile-json", "", "write the attribution report as JSON to this file (\"-\" = stdout)")
+	flag.IntVar(&o.top, "top", 20, "rows shown by -profile (0 = all)")
 	flag.Parse()
 
-	cli.Fail("esetlm", run(runCfg{
-		design: *design, frames: *frames, icache: *icache, dcache: *dcache,
-		engine: *engine, calibrate: *calibrate, graph: *graph, gen: *gen,
-		verify: *verifyFlag, werror: *werror,
-		vcdPath: *vcd, traceJSON: *traceJSON,
-		profile: *profileFlag, profileJSON: *profileJSON, top: *top,
-		timeout: *timeout, exec: *execEngine,
-	}))
+	cli.Fail("esetlm", run(&spec, o))
 }
 
-// runCfg bundles the flag values.
-type runCfg struct {
-	design         string
-	frames         int
-	icache, dcache int
-	engine         string
-	calibrate      bool
-	verify, werror bool
-	graph, gen     bool
-	vcdPath        string
-	traceJSON      string
-	profile        bool
-	profileJSON    string
-	top            int
-	timeout        time.Duration
-	exec           string
-}
-
-func run(cfgFlags runCfg) error {
-	design, frames, icache, dcache := cfgFlags.design, cfgFlags.frames, cfgFlags.icache, cfgFlags.dcache
-	engine, calibrate, graph, gen := cfgFlags.engine, cfgFlags.calibrate, cfgFlags.graph, cfgFlags.gen
-	vcdPath, timeout := cfgFlags.vcdPath, cfgFlags.timeout
-	execKind, err := interp.ParseEngineKind(cfgFlags.exec)
+func run(spec *jobspec.Spec, o outputs) error {
+	if err := spec.Validate(); err != nil {
+		return cli.Input(err)
+	}
+	opts, err := spec.Options()
 	if err != nil {
 		return cli.Input(err)
 	}
-	cfg := ese.MP3Config{Frames: frames, Seed: 0xC0FFEE}
-	mb := ese.MicroBlazePUM()
-	if calibrate {
-		trainSrc, err := ese.MP3Source("SW", ese.MP3Config{Frames: 1, Seed: 0x5EED})
-		if err != nil {
-			return err
-		}
-		trainProg, err := ese.CompileC("train.c", trainSrc)
-		if err != nil {
-			return err
-		}
-		mb, err = ese.Calibrate(mb, trainProg, "main")
-		if err != nil {
-			return err
-		}
-	}
-	d, err := ese.MP3Design(design, cfg, mb, ese.CacheCfg{ISize: icache, DSize: dcache})
+	d, err := spec.BuildDesign()
 	if err != nil {
-		return cli.Input(err)
+		return err
 	}
-	if cfgFlags.verify {
+	if spec.Verify {
 		// One explicit design-level verification covers every engine path,
 		// including -graph/-gen/board which bypass the pipeline.
 		ds := ese.VerifyDesign(d)
 		for _, dg := range ds {
 			fmt.Fprintf(os.Stderr, "esetlm: %s\n", dg)
 		}
-		if dg, bad := ese.VerifyFailure(ds, cfgFlags.werror); bad {
+		if dg, bad := ese.VerifyFailure(ds, spec.Werror); bad {
 			return dg
 		}
 	}
-	if graph {
+	if o.graph {
 		fmt.Print(d.Graph())
 		return nil
 	}
-	if gen {
+	if o.gen {
 		src, err := ese.GenerateTLM(d)
 		if err != nil {
 			return err
@@ -145,63 +115,63 @@ func run(cfgFlags runCfg) error {
 		fmt.Print(src)
 		return nil
 	}
-	switch engine {
-	case "functional":
-		pl := ese.NewPipeline(ese.PipelineOptions{Timeout: timeout, Engine: execKind})
+	switch spec.Engine {
+	case jobspec.EngineFunctional:
+		pl := ese.NewPipeline(opts)
 		defer cli.PrintDiags("esetlm", pl.Diagnostics())
 		res, err := pl.RunFunctional(d)
 		if err != nil {
 			return err
 		}
 		printTLM(res, d)
-	case "timed":
-		pl := ese.NewPipeline(ese.PipelineOptions{Timeout: timeout, Engine: execKind})
+	case jobspec.EngineTimed:
+		pl := ese.NewPipeline(opts)
 		defer cli.PrintDiags("esetlm", pl.Diagnostics())
-		doProfile := cfgFlags.profile || cfgFlags.profileJSON != ""
-		opts := tlm.Options{
+		doProfile := o.profile || o.profileJSON != ""
+		simOpts := tlm.Options{
 			Timed:    true,
 			WaitMode: tlm.WaitAtTransactions,
 			Detail:   core.FullDetail,
 			Profile:  doProfile,
 		}
 		var v *trace.VCD
-		if vcdPath != "" {
+		if o.vcdPath != "" {
 			v = trace.New()
-			opts.Trace = v
+			simOpts.Trace = v
 		}
 		var ev *trace.Events
-		if cfgFlags.traceJSON != "" {
+		if o.traceJSON != "" {
 			ev = trace.NewEvents()
-			opts.Events = ev
+			simOpts.Events = ev
 		}
-		res, err := pl.Simulate(d, opts)
+		res, err := pl.Simulate(d, simOpts)
 		if err != nil {
 			return err
 		}
 		if v != nil {
-			if werr := os.WriteFile(vcdPath, []byte(v.Render()), 0o644); werr != nil {
+			if werr := os.WriteFile(o.vcdPath, []byte(v.Render()), 0o644); werr != nil {
 				return werr
 			}
-			fmt.Printf("wrote waveform to %s\n", vcdPath)
+			fmt.Printf("wrote waveform to %s\n", o.vcdPath)
 		}
 		if ev != nil {
 			data, jerr := ev.RenderJSON()
 			if jerr != nil {
 				return jerr
 			}
-			if werr := os.WriteFile(cfgFlags.traceJSON, append(data, '\n'), 0o644); werr != nil {
+			if werr := os.WriteFile(o.traceJSON, append(data, '\n'), 0o644); werr != nil {
 				return werr
 			}
-			fmt.Printf("wrote trace timeline to %s (%d events)\n", cfgFlags.traceJSON, ev.Len())
+			fmt.Printf("wrote trace timeline to %s (%d events)\n", o.traceJSON, ev.Len())
 		}
 		fmt.Printf("annotation time: %v\n", res.AnnoTime.Round(time.Microsecond))
 		printTLM(res, d)
 		if doProfile {
-			if err := writeProfile(pl, d, res, cfgFlags); err != nil {
+			if err := writeProfile(pl, d, res, o); err != nil {
 				return err
 			}
 		}
-	case "board":
+	case jobspec.EngineBoard:
 		res, err := ese.RunBoard(d)
 		if err != nil {
 			return err
@@ -219,7 +189,7 @@ func run(cfgFlags runCfg) error {
 			fmt.Println()
 		}
 	default:
-		return cli.Input(fmt.Errorf("unknown engine %q", engine))
+		return cli.Input(fmt.Errorf("unknown engine %q", spec.Engine))
 	}
 	return nil
 }
@@ -229,7 +199,7 @@ func run(cfgFlags runCfg) error {
 // The annotations go through the pipeline's cache, so they are the very
 // estimates the run was timed with — the report totals reconcile bit for
 // bit with the simulated per-PE cycle counts.
-func writeProfile(pl *ese.Pipeline, d *ese.Design, res *ese.TLMResult, cfgFlags runCfg) error {
+func writeProfile(pl *ese.Pipeline, d *ese.Design, res *ese.TLMResult, o outputs) error {
 	est := make(map[string]map[*cdfg.Block]core.Estimate, len(d.PEs))
 	for _, pe := range d.PEs {
 		a, err := pl.AnnotateDetailCtx(context.Background(), d.Program, pe.PUM, core.FullDetail)
@@ -242,19 +212,19 @@ func writeProfile(pl *ese.Pipeline, d *ese.Design, res *ese.TLMResult, cfgFlags 
 	if err != nil {
 		return err
 	}
-	if cfgFlags.profileJSON != "" {
+	if o.profileJSON != "" {
 		data, err := rep.JSON()
 		if err != nil {
 			return err
 		}
-		if cfgFlags.profileJSON == "-" {
+		if o.profileJSON == "-" {
 			fmt.Println(string(data))
-		} else if err := os.WriteFile(cfgFlags.profileJSON, append(data, '\n'), 0o644); err != nil {
+		} else if err := os.WriteFile(o.profileJSON, append(data, '\n'), 0o644); err != nil {
 			return err
 		}
 	}
-	if cfgFlags.profile {
-		fmt.Print(rep.Text(cfgFlags.top))
+	if o.profile {
+		fmt.Print(rep.Text(o.top))
 	}
 	return nil
 }

@@ -81,6 +81,23 @@ type Options struct {
 	// Werror promotes verification Warnings (e.g. op-mapping coverage
 	// gaps) to stage failures. Only meaningful with Verify.
 	Werror bool
+	// Cache, when non-nil, injects a shared schedule/estimate cache
+	// instead of the per-pipeline one New would otherwise construct.
+	// Several pipelines (one per job in the esed daemon) can point at one
+	// process-wide handle so every request shares warmed schedules.
+	// NoCache still wins; CacheLimit is ignored for an injected cache
+	// (the owner chose its bound).
+	Cache *core.Cache
+	// Metrics, when non-nil, injects a shared metric registry instead of
+	// a per-pipeline one, letting a long-lived process aggregate stage
+	// timings and simulation counters across every pipeline it builds.
+	Metrics *metrics.Registry
+	// StageHook, when non-nil, is called after every pipeline stage
+	// completes with the stage tag and its wall-clock duration — the
+	// progress-streaming seam (esed's SSE endpoint). It is invoked
+	// synchronously on the running goroutine and must be cheap and
+	// goroutine-safe.
+	StageHook func(stage diag.Stage, d time.Duration)
 }
 
 // Stats aggregates the pipeline's observability counters: the
@@ -113,12 +130,19 @@ type Pipeline struct {
 
 // New constructs a pipeline with the given options.
 func New(opts Options) *Pipeline {
-	pl := &Pipeline{opts: opts, detail: core.FullDetail, metrics: metrics.NewRegistry()}
+	pl := &Pipeline{opts: opts, detail: core.FullDetail, metrics: opts.Metrics}
+	if pl.metrics == nil {
+		pl.metrics = metrics.NewRegistry()
+	}
 	if opts.Detail != nil {
 		pl.detail = *opts.Detail
 	}
 	if !opts.NoCache {
-		pl.cache = core.NewCacheLimit(opts.CacheLimit)
+		if opts.Cache != nil {
+			pl.cache = opts.Cache
+		} else {
+			pl.cache = core.NewCacheLimit(opts.CacheLimit)
+		}
 	}
 	return pl
 }
@@ -171,10 +195,15 @@ func (pl *Pipeline) MetricsSnapshot() metrics.Snapshot {
 	return snap
 }
 
-// timeStage records one stage execution into the registry.
+// timeStage records one stage execution into the registry and notifies
+// the stage hook, when one is installed.
 func (pl *Pipeline) timeStage(stage diag.Stage, start time.Time) {
+	d := time.Since(start)
 	pl.metrics.Histogram("pipeline.stage." + string(stage) + ".seconds").
-		Observe(time.Since(start).Seconds())
+		Observe(d.Seconds())
+	if pl.opts.StageHook != nil {
+		pl.opts.StageHook(stage, d)
+	}
 }
 
 // estOpts bundles the pipeline's worker bound, cache, degradation policy

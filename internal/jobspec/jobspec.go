@@ -1,0 +1,305 @@
+// Package jobspec defines the request-shaped description of one
+// estimation or TLM job — the configuration surface that cmd/eseest,
+// cmd/esetlm, cmd/esebench and the esed daemon all share. Before this
+// package each front end re-implemented the same flag→Options wiring;
+// now a Spec is the single source of truth: the CLIs bind their flags
+// onto one, the daemon decodes one from a JSON request body, and both
+// hand it to a Runner that executes it through one engine.Pipeline.
+//
+// A Spec is deliberately plain data (JSON-codable, no pointers into IR),
+// so it can be validated, fingerprinted and coalesced: Fingerprint()
+// hashes the canonical encoding, giving the daemon a content-addressed
+// key under which concurrent identical jobs are collapsed into one
+// execution.
+package jobspec
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"ese/internal/core"
+	"ese/internal/engine"
+	"ese/internal/interp"
+	"ese/internal/pum"
+)
+
+// Job kinds.
+const (
+	// KindEstimate compiles a C-subset source and annotates it against
+	// one PE model (the eseest flow).
+	KindEstimate = "estimate"
+	// KindTLM builds one of the built-in mapped designs and simulates
+	// its transaction-level model (the esetlm flow).
+	KindTLM = "tlm"
+)
+
+// TLM engines a KindTLM job may request.
+const (
+	EngineFunctional = "functional"
+	EngineTimed      = "timed"
+	EngineBoard      = "board"
+)
+
+// Source is the program input of an estimation job: a C-subset source
+// carried inline, plus the name used in diagnostics.
+type Source struct {
+	// Name labels the source in positions and diagnostics ("app.c").
+	Name string `json:"name,omitempty"`
+	// Code is the C-subset source text.
+	Code string `json:"code,omitempty"`
+}
+
+// Model selects the PE model of an estimation job: a built-in name
+// ("microblaze", "customhw", "dualissue") or an inline JSON PUM
+// description (the retargeting interface).
+type Model struct {
+	Name string          `json:"name,omitempty"`
+	JSON json.RawMessage `json:"json,omitempty"`
+}
+
+// Spec describes one job. The zero value is not valid; construct with
+// Default() (or DefaultTLM()) and override, or decode from JSON and call
+// Validate.
+type Spec struct {
+	// Kind is KindEstimate or KindTLM.
+	Kind string `json:"kind"`
+
+	// Source is the program of an estimation job.
+	Source Source `json:"source,omitempty"`
+	// Model is the PE model of an estimation job.
+	Model Model `json:"model,omitempty"`
+
+	// Design names the built-in mapped design of a TLM job (SW, SW+1,
+	// SW+2, SW+4).
+	Design string `json:"design,omitempty"`
+	// Frames sizes the MP3 workload of a TLM job.
+	Frames int `json:"frames,omitempty"`
+	// Seed seeds the workload generator; zero selects the standard
+	// evaluation seed.
+	Seed uint32 `json:"seed,omitempty"`
+	// Engine selects the TLM engine: functional, timed (default) or
+	// board.
+	Engine string `json:"engine,omitempty"`
+	// Calibrate fits the statistical PUM models on the training workload
+	// before building the design. Never omitted from the encoding: its
+	// default is true, so an omitted false would be undone by the decoder's
+	// defaults (and silently change the fingerprint).
+	Calibrate bool `json:"calibrate"`
+
+	// ICache / DCache select the cache configuration in bytes (0 =
+	// uncached).
+	ICache int `json:"icache"`
+	DCache int `json:"dcache"`
+
+	// Exec selects the IR execution engine: auto (default), compiled or
+	// tree.
+	Exec string `json:"exec,omitempty"`
+	// Strict fails the job when the PE model does not map an op class
+	// the program uses, instead of degrading to fallback latencies.
+	Strict bool `json:"strict,omitempty"`
+	// Fallback is the latency charged to unmapped op classes when not
+	// strict; zero selects core.DefaultFallbackCycles.
+	Fallback int `json:"fallback,omitempty"`
+	// Verify statically verifies the IR / design and lints the PE models
+	// before running.
+	Verify bool `json:"verify,omitempty"`
+	// Werror promotes verification warnings to failures.
+	Werror bool `json:"werror,omitempty"`
+	// Timeout arms a wall-clock watchdog on the whole job (0 = none; the
+	// daemon may impose its own default).
+	Timeout Duration `json:"timeout,omitempty"`
+	// Workers bounds the annotation worker pool (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// Profile additionally returns the ranked cycle-attribution profile.
+	Profile bool `json:"profile,omitempty"`
+	// Top bounds the profile rows returned (0 = all).
+	Top int `json:"top,omitempty"`
+	// Entry names the entry function a profiled estimation job executes
+	// (default main).
+	Entry string `json:"entry,omitempty"`
+	// Steps bounds the dynamic instruction count of a profiled estimation
+	// job (0 = none).
+	Steps uint64 `json:"steps,omitempty"`
+}
+
+// Default returns an estimation Spec carrying the front ends' shared
+// flag defaults.
+func Default() Spec {
+	return Spec{
+		Kind:     KindEstimate,
+		Model:    Model{Name: "microblaze"},
+		ICache:   8192,
+		DCache:   4096,
+		Exec:     "auto",
+		Fallback: core.DefaultFallbackCycles,
+		Entry:    "main",
+		Top:      20,
+	}
+}
+
+// DefaultTLM returns a TLM Spec carrying esetlm's flag defaults.
+func DefaultTLM() Spec {
+	s := Default()
+	s.Kind = KindTLM
+	s.Design = "SW"
+	s.Frames = 2
+	s.Engine = EngineTimed
+	s.Calibrate = true
+	s.Model = Model{}
+	return s
+}
+
+// Duration is a time.Duration that marshals as a Go duration string
+// ("1.5s"), matching the CLI flag syntax, and also accepts plain
+// nanosecond numbers on decode.
+type Duration time.Duration
+
+// MarshalJSON renders the duration as its flag-syntax string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "150ms"-style strings or nanosecond numbers.
+func (d *Duration) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("jobspec: bad timeout %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(data, &n); err != nil {
+		return fmt.Errorf("jobspec: timeout must be a duration string or nanoseconds")
+	}
+	*d = Duration(n)
+	return nil
+}
+
+// knownDesigns mirrors apps.MP3DesignNames without importing it here
+// (resolve.go consumes the apps package; validation should not need to
+// build anything).
+var knownDesigns = map[string]bool{"SW": true, "SW+1": true, "SW+2": true, "SW+4": true}
+
+// Validate checks the spec for structural problems a front end should
+// reject before any work is spent on it.
+func (s *Spec) Validate() error {
+	switch s.Kind {
+	case KindEstimate:
+		if s.Source.Code == "" {
+			return fmt.Errorf("jobspec: estimate job carries no source code")
+		}
+		if s.Model.Name == "" && len(s.Model.JSON) == 0 {
+			return fmt.Errorf("jobspec: estimate job names no PE model")
+		}
+	case KindTLM:
+		if !knownDesigns[s.Design] {
+			return fmt.Errorf("jobspec: unknown design %q (want SW, SW+1, SW+2 or SW+4)", s.Design)
+		}
+		if s.Frames < 1 {
+			return fmt.Errorf("jobspec: tlm job needs frames >= 1, got %d", s.Frames)
+		}
+		switch s.Engine {
+		case EngineFunctional, EngineTimed, EngineBoard:
+		default:
+			return fmt.Errorf("jobspec: unknown engine %q (want functional, timed or board)", s.Engine)
+		}
+	default:
+		return fmt.Errorf("jobspec: unknown job kind %q (want %s or %s)", s.Kind, KindEstimate, KindTLM)
+	}
+	if s.ICache < 0 || s.DCache < 0 {
+		return fmt.Errorf("jobspec: negative cache size %d/%d", s.ICache, s.DCache)
+	}
+	if s.Frames < 0 {
+		return fmt.Errorf("jobspec: negative frame count %d", s.Frames)
+	}
+	if s.Timeout < 0 {
+		return fmt.Errorf("jobspec: negative timeout %v", time.Duration(s.Timeout))
+	}
+	if _, err := interp.ParseEngineKind(s.Exec); err != nil {
+		return fmt.Errorf("jobspec: %w", err)
+	}
+	if len(s.Model.JSON) > 0 {
+		if _, err := pum.FromJSON(s.Model.JSON); err != nil {
+			return fmt.Errorf("jobspec: inline PUM: %w", err)
+		}
+	}
+	return nil
+}
+
+// ParseJSON decodes and validates a Spec from a JSON request body.
+// Unknown fields are rejected, so a typoed option fails loudly instead of
+// silently running with defaults.
+func ParseJSON(data []byte) (*Spec, error) {
+	s := Default()
+	// The kind steers the defaults, so peek at it first.
+	var probe struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("jobspec: %w", err)
+	}
+	if probe.Kind == KindTLM {
+		s = DefaultTLM()
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("jobspec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// EncodeJSON renders the spec canonically (stable field order from the
+// struct definition).
+func (s *Spec) EncodeJSON() ([]byte, error) {
+	return json.Marshal(s)
+}
+
+// Fingerprint returns the sha256 hex digest of the spec's canonical
+// encoding — the content-addressed identity under which the daemon
+// coalesces concurrent identical jobs. Two specs that differ only in
+// presentation options that do not change the computed result (Top) still
+// hash differently; that is deliberate: the fingerprint addresses the
+// response, not just the simulation.
+func (s *Spec) Fingerprint() string {
+	data, err := json.Marshal(s)
+	if err != nil {
+		// Spec is plain data; Marshal can only fail on exotic corruption.
+		return fmt.Sprintf("unmarshalable:%v", err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Options maps the spec onto pipeline options. The caller owns cache and
+// metrics injection; everything request-shaped comes from the spec.
+func (s *Spec) Options() (engine.Options, error) {
+	kind, err := interp.ParseEngineKind(s.Exec)
+	if err != nil {
+		return engine.Options{}, err
+	}
+	return engine.Options{
+		Workers:        s.Workers,
+		Strict:         s.Strict,
+		FallbackCycles: s.Fallback,
+		Timeout:        time.Duration(s.Timeout),
+		Engine:         kind,
+		Verify:         s.Verify,
+		Werror:         s.Werror,
+	}, nil
+}
+
+// ExecKind parses the spec's IR execution engine selection.
+func (s *Spec) ExecKind() (interp.EngineKind, error) {
+	return interp.ParseEngineKind(s.Exec)
+}

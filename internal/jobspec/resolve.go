@@ -1,0 +1,91 @@
+package jobspec
+
+import (
+	"fmt"
+	"os"
+
+	"ese/internal/apps"
+	"ese/internal/platform"
+	"ese/internal/pum"
+	"ese/internal/rtl"
+)
+
+// ResolveModel materializes the spec's PE model: inline JSON wins, then
+// the built-in model names. It does not touch the filesystem — the
+// daemon-safe path. The returned model does not yet carry the spec's
+// cache configuration; ApplyCache does that.
+func (s *Spec) ResolveModel() (*pum.PUM, error) {
+	if len(s.Model.JSON) > 0 {
+		return pum.FromJSON(s.Model.JSON)
+	}
+	switch s.Model.Name {
+	case "microblaze":
+		return pum.MicroBlaze(), nil
+	case "customhw":
+		return pum.CustomHW("customhw", 100_000_000), nil
+	case "dualissue":
+		return pum.DualIssue(), nil
+	case "":
+		return nil, fmt.Errorf("jobspec: no PE model selected")
+	}
+	return nil, fmt.Errorf("jobspec: unknown PE model %q (want microblaze, customhw, dualissue or inline JSON)", s.Model.Name)
+}
+
+// LoadModelArg resolves a CLI -pum argument into the spec: built-in names
+// stay names; anything else is read as a JSON PUM file and inlined, so the
+// spec stays self-contained (and fingerprints on the file's content, not
+// its path).
+func (s *Spec) LoadModelArg(arg string) error {
+	switch arg {
+	case "microblaze", "customhw", "dualissue":
+		s.Model = Model{Name: arg}
+		return nil
+	}
+	data, err := os.ReadFile(arg)
+	if err != nil {
+		return err
+	}
+	if _, err := pum.FromJSON(data); err != nil {
+		return err
+	}
+	s.Model = Model{JSON: data}
+	return nil
+}
+
+// ApplyCache folds the spec's cache configuration into the model, under
+// the front ends' shared convention: models that already carry cache
+// statistics get retargeted to the requested sizes, and an explicit
+// -icache 0 forces the uncached configuration even on models without
+// calibration tables.
+func (s *Spec) ApplyCache(model *pum.PUM) (*pum.PUM, error) {
+	if model.Mem.HasICache || model.Mem.HasDCache || s.ICache == 0 {
+		return model.WithCache(pum.CacheCfg{ISize: s.ICache, DSize: s.DCache})
+	}
+	return model, nil
+}
+
+// BuildDesign materializes a TLM job's mapped platform: the (optionally
+// calibrated) MicroBlaze-like processor model plus the named MP3 design
+// under the spec's cache configuration.
+func (s *Spec) BuildDesign() (*platform.Design, error) {
+	cfg := apps.MP3Config{Frames: s.Frames, Seed: apps.DefaultMP3.Seed}
+	if s.Seed != 0 {
+		cfg.Seed = s.Seed
+	}
+	mb := pum.MicroBlaze()
+	if s.Calibrate {
+		trainSrc, err := apps.MP3Source("SW", apps.TrainMP3)
+		if err != nil {
+			return nil, err
+		}
+		trainProg, err := apps.Compile("train.c", trainSrc)
+		if err != nil {
+			return nil, err
+		}
+		mb, err = rtl.Calibrate(mb, trainProg, "main", pum.StandardCacheConfigs, 0)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return apps.MP3Design(s.Design, cfg, mb, pum.CacheCfg{ISize: s.ICache, DSize: s.DCache})
+}

@@ -1,0 +1,296 @@
+package jobspec
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"ese/internal/cdfg"
+	"ese/internal/core"
+	"ese/internal/diag"
+	"ese/internal/engine"
+	"ese/internal/interp"
+	"ese/internal/metrics"
+	"ese/internal/platform"
+	"ese/internal/profile"
+	"ese/internal/pum"
+	"ese/internal/rtl"
+	"ese/internal/tlm"
+)
+
+// Runner executes Specs through engine pipelines built around shared
+// process-wide state: one content-addressed schedule/estimate cache and
+// one metric registry. A zero Runner is valid (each job then runs with a
+// private cache and registry); the esed daemon populates both so every
+// request warms the same cache.
+type Runner struct {
+	// Cache, when non-nil, is injected into every job's pipeline.
+	Cache *core.Cache
+	// Metrics, when non-nil, is injected into every job's pipeline.
+	Metrics *metrics.Registry
+	// DefaultTimeout bounds jobs whose spec sets none (0 = unbounded).
+	DefaultTimeout time.Duration
+}
+
+// RunOpts carries per-invocation hooks that are not part of the job's
+// content-addressed identity.
+type RunOpts struct {
+	// StageHook observes pipeline stage completions (progress streaming).
+	StageHook func(stage diag.Stage, d time.Duration)
+}
+
+// BlockEstimate is the JSON form of one basic block's estimate.
+type BlockEstimate struct {
+	Func     string  `json:"func"`
+	Block    int     `json:"block"`
+	Ops      int     `json:"ops"`
+	Operands int     `json:"operands"`
+	Sched    int     `json:"sched"`
+	Branch   float64 `json:"branch"`
+	IDelay   float64 `json:"idelay"`
+	DDelay   float64 `json:"ddelay"`
+	Total    float64 `json:"total"`
+	Unmapped int     `json:"unmapped,omitempty"`
+}
+
+// TLMSummary is the JSON form of one TLM (or board) simulation outcome.
+type TLMSummary struct {
+	Design       string             `json:"design"`
+	Engine       string             `json:"engine"`
+	EndPs        uint64             `json:"end_ps,omitempty"`
+	BusCycles    uint64             `json:"bus_cycles,omitempty"`
+	CyclesByPE   map[string]uint64  `json:"cycles_by_pe"`
+	SwitchesByPE map[string]uint64  `json:"switches_by_pe,omitempty"`
+	OutByPE      map[string][]int32 `json:"out_by_pe,omitempty"`
+	BusWords     uint64             `json:"bus_words,omitempty"`
+	Steps        uint64             `json:"steps"`
+	AnnoNs       int64              `json:"anno_ns,omitempty"`
+	WallNs       int64              `json:"wall_ns"`
+}
+
+// Result is the JSON response body of one executed job. On failure the
+// Runner still returns a partial Result carrying the collected
+// diagnostics next to the error.
+type Result struct {
+	Kind        string `json:"kind"`
+	Fingerprint string `json:"fingerprint"`
+	// Model names the resolved PE model of an estimation job.
+	Model string `json:"model,omitempty"`
+	// Summary is the human-readable annotation summary (estimation jobs).
+	Summary string `json:"summary,omitempty"`
+	// Blocks is the per-block estimate table (estimation jobs).
+	Blocks []BlockEstimate `json:"blocks,omitempty"`
+	// TLM is the simulation outcome (TLM jobs).
+	TLM *TLMSummary `json:"tlm,omitempty"`
+	// Profile is the cycle-attribution report (when Spec.Profile is set).
+	Profile json.RawMessage `json:"profile,omitempty"`
+	// Diagnostics are the pipeline's structured diagnostics, rendered.
+	Diagnostics []string `json:"diagnostics,omitempty"`
+	// UnmappedOps / DegradedBlocks are the job's graceful-degradation
+	// tallies.
+	UnmappedOps    uint64 `json:"unmapped_ops,omitempty"`
+	DegradedBlocks uint64 `json:"degraded_blocks,omitempty"`
+	// ElapsedNs is the job's host wall-clock time inside the Runner.
+	ElapsedNs int64 `json:"elapsed_ns"`
+}
+
+// Run executes one validated spec. See RunWith.
+func (r *Runner) Run(ctx context.Context, s *Spec) (*Result, error) {
+	return r.RunWith(ctx, s, RunOpts{})
+}
+
+// RunWith executes one validated spec through a fresh pipeline bound to
+// the Runner's shared cache and registry. The context bounds the whole
+// job: cancellation or deadline expiry surfaces as diag.ErrCanceled /
+// diag.ErrDeadline with a stage-tagged diagnostic in the (partial)
+// Result.
+func (r *Runner) RunWith(ctx context.Context, s *Spec, ro RunOpts) (res *Result, err error) {
+	start := time.Now()
+	opts, err := s.Options()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Timeout == 0 {
+		opts.Timeout = r.DefaultTimeout
+	}
+	opts.Cache = r.Cache
+	opts.Metrics = r.Metrics
+	opts.StageHook = ro.StageHook
+	pl := engine.New(opts)
+
+	res = &Result{Kind: s.Kind, Fingerprint: s.Fingerprint()}
+	defer func() {
+		for _, d := range pl.Diagnostics().All() {
+			res.Diagnostics = append(res.Diagnostics, d.String())
+		}
+		st := pl.Stats()
+		res.UnmappedOps, res.DegradedBlocks = st.UnmappedOps, st.DegradedBlocks
+		res.ElapsedNs = time.Since(start).Nanoseconds()
+	}()
+
+	switch s.Kind {
+	case KindEstimate:
+		err = r.runEstimate(ctx, s, pl, res)
+	case KindTLM:
+		err = r.runTLM(ctx, s, pl, res)
+	default:
+		err = fmt.Errorf("jobspec: unknown job kind %q", s.Kind)
+	}
+	return res, err
+}
+
+// runEstimate is the eseest flow: compile, annotate, summarize.
+func (r *Runner) runEstimate(ctx context.Context, s *Spec, pl *engine.Pipeline, res *Result) error {
+	name := s.Source.Name
+	if name == "" {
+		name = "job.c"
+	}
+	prog, err := pl.CompileCtx(ctx, name, s.Source.Code)
+	if err != nil {
+		return err
+	}
+	model, err := s.ResolveModel()
+	if err != nil {
+		return err
+	}
+	if model, err = s.ApplyCache(model); err != nil {
+		return err
+	}
+	res.Model = model.Name
+	a, err := pl.AnnotateCtx(ctx, prog, model)
+	if err != nil {
+		return err
+	}
+	res.Summary = a.Summary()
+	for _, fn := range prog.Funcs {
+		for _, b := range fn.Blocks {
+			e := a.Est[b]
+			res.Blocks = append(res.Blocks, BlockEstimate{
+				Func: fn.Name, Block: b.ID,
+				Ops: e.Ops, Operands: e.Operands, Sched: e.Sched,
+				Branch: e.BranchPen, IDelay: e.IDelay, DDelay: e.DDelay,
+				Total: e.Total, Unmapped: e.Unmapped,
+			})
+		}
+	}
+	if s.Profile {
+		return r.profileEstimate(ctx, s, prog, model, a.Est, res)
+	}
+	return nil
+}
+
+// profileEstimate executes the program on the IR interpreter and joins
+// the block counts with the annotation into the attribution report.
+func (r *Runner) profileEstimate(ctx context.Context, s *Spec, prog *cdfg.Program, model *pum.PUM, est map[*cdfg.Block]core.Estimate, res *Result) error {
+	kind, err := s.ExecKind()
+	if err != nil {
+		return err
+	}
+	m, err := interp.NewEngine(prog, kind)
+	if err != nil {
+		return err
+	}
+	m.EnableProfile()
+	m.SetLimit(s.Steps)
+	m.SetContext(ctx)
+	entry := s.Entry
+	if entry == "" {
+		entry = "main"
+	}
+	if err := m.Run(entry); err != nil {
+		return fmt.Errorf("profile run: %w", err)
+	}
+	rep, err := profile.Build("", prog,
+		map[string]map[*cdfg.Block]uint64{model.Name: m.BlockCountsMap()},
+		map[string]map[*cdfg.Block]core.Estimate{model.Name: est})
+	if err != nil {
+		return err
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	res.Profile = data
+	return nil
+}
+
+// runTLM is the esetlm flow: build the design, simulate, summarize.
+func (r *Runner) runTLM(ctx context.Context, s *Spec, pl *engine.Pipeline, res *Result) error {
+	d, err := s.BuildDesign()
+	if err != nil {
+		return err
+	}
+	if s.Engine == EngineBoard {
+		br, err := rtl.RunBoard(d, 0)
+		if err != nil {
+			return err
+		}
+		sum := &TLMSummary{
+			Design:     d.Name,
+			Engine:     EngineBoard,
+			EndPs:      uint64(br.EndPs),
+			BusCycles:  br.EndCycles(d.Bus.ClockHz),
+			CyclesByPE: make(map[string]uint64, len(br.PEs)),
+			Steps:      br.Steps,
+			WallNs:     br.Wall.Nanoseconds(),
+		}
+		for name, pe := range br.PEs {
+			sum.CyclesByPE[name] = pe.Cycles
+		}
+		res.TLM = sum
+		return nil
+	}
+	opts := tlm.Options{Profile: s.Profile}
+	if s.Engine == EngineTimed {
+		opts.Timed = true
+		opts.WaitMode = tlm.WaitAtTransactions
+		opts.Detail = core.FullDetail
+	}
+	tr, err := pl.SimulateCtx(ctx, d, opts)
+	if err != nil {
+		return err
+	}
+	res.TLM = &TLMSummary{
+		Design:       tr.Design,
+		Engine:       s.Engine,
+		EndPs:        uint64(tr.EndPs),
+		CyclesByPE:   tr.CyclesByPE,
+		SwitchesByPE: tr.SwitchesByPE,
+		OutByPE:      tr.OutByPE,
+		BusWords:     tr.BusWords,
+		Steps:        tr.Steps,
+		AnnoNs:       tr.AnnoTime.Nanoseconds(),
+		WallNs:       tr.Wall.Nanoseconds(),
+	}
+	if tr.EndPs > 0 {
+		res.TLM.BusCycles = tr.EndCycles(d.Bus.ClockHz)
+	}
+	if s.Profile {
+		return r.profileTLM(ctx, s, pl, d, tr, res)
+	}
+	return nil
+}
+
+// profileTLM joins the run's per-process block counts with each PE's
+// annotation into the attribution report (the esetlm -profile flow).
+func (r *Runner) profileTLM(ctx context.Context, s *Spec, pl *engine.Pipeline, d *platform.Design, tr *tlm.Result, res *Result) error {
+	est := make(map[string]map[*cdfg.Block]core.Estimate, len(d.PEs))
+	for _, pe := range d.PEs {
+		a, err := pl.AnnotateDetailCtx(ctx, d.Program, pe.PUM, core.FullDetail)
+		if err != nil {
+			return err
+		}
+		est[pe.Name] = a.Est
+	}
+	rep, err := profile.Build(d.Name, d.Program, tr.BlockCountsByPE, est)
+	if err != nil {
+		return err
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	res.Profile = data
+	return nil
+}

@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteProm renders the snapshot in the Prometheus text exposition format
+// (version 0.0.4), the second wire format of the esed /metrics endpoint.
+// Instrument names are sanitized into the Prometheus grammar (every rune
+// outside [a-zA-Z0-9_:] becomes '_', so "cache.sched.hits" scrapes as
+// "cache_sched_hits"). Counters emit as counter, gauges as gauge, and the
+// aggregate histograms as a bucket-less summary (`_sum`/`_count`) plus
+// `_min`/`_max` gauges. Families are emitted in sorted-name order, so the
+// output is deterministic for a fixed snapshot.
+func (s Snapshot) WriteProm(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", p, p, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", p, p, s.Gauges[n]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p := promName(n)
+		h := s.Histograms[n]
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n%s_sum %s\n%s_count %d\n",
+			p, p, promFloat(h.Sum), p, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s_min gauge\n%s_min %s\n# TYPE %s_max gauge\n%s_max %s\n",
+			p, p, promFloat(h.Min), p, p, promFloat(h.Max)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName maps an instrument name into the Prometheus metric-name
+// grammar. A leading digit is prefixed with '_'.
+func promName(name string) string {
+	var sb strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			if r >= '0' && r <= '9' { // leading digit
+				sb.WriteByte('_')
+				sb.WriteRune(r)
+				continue
+			}
+			sb.WriteByte('_')
+			continue
+		}
+		sb.WriteRune(r)
+	}
+	return sb.String()
+}
+
+// promFloat renders a float in the exposition format (Go 'g' formatting is
+// accepted by Prometheus parsers, including Inf/NaN spellings).
+func promFloat(v float64) string {
+	return fmt.Sprintf("%g", v)
+}

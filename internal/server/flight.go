@@ -1,0 +1,129 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"ese/internal/diag"
+	"ese/internal/jobspec"
+)
+
+// Flight states reported by the status endpoint.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+)
+
+// StageEvent is one pipeline stage completion, streamed to progress
+// subscribers and replayed to late ones.
+type StageEvent struct {
+	// Stage names the completed pipeline stage ("parse", "annotate", ...).
+	Stage string `json:"stage"`
+	// ElapsedNs is the stage's wall-clock duration.
+	ElapsedNs int64 `json:"elapsed_ns"`
+	// Seq numbers the event within its job, from zero.
+	Seq int `json:"seq"`
+}
+
+// flight is one in-progress job execution: the singleflight unit under
+// which concurrent identical requests coalesce. Exactly one leader
+// goroutine executes the spec; every HTTP request holding the flight is a
+// waiter. The flight's context is derived from the server's base context,
+// so server drain cancels it; it is also canceled when the last waiter
+// departs or an explicit DELETE arrives.
+type flight struct {
+	fp     string
+	spec   *jobspec.Spec
+	tenant string
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// done closes after res/err are set and the flight left the table.
+	done chan struct{}
+	res  *jobspec.Result
+	err  error
+
+	mu      sync.Mutex
+	state   string
+	waiters int
+	stages  []StageEvent
+	subs    map[chan StageEvent]struct{}
+}
+
+func newFlight(base context.Context, fp, tenant string, spec *jobspec.Spec) *flight {
+	ctx, cancel := context.WithCancel(base)
+	return &flight{
+		fp:      fp,
+		spec:    spec,
+		tenant:  tenant,
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		state:   StateQueued,
+		waiters: 1,
+		subs:    make(map[chan StageEvent]struct{}),
+	}
+}
+
+// publish records one stage completion and fans it out to subscribers.
+// It is the pipeline's StageHook, so it must be cheap and goroutine-safe;
+// a subscriber that cannot keep up loses events rather than stalling the
+// job (the replay on subscribe plus the final done notification keep the
+// stream's end state correct regardless).
+func (f *flight) publish(stage diag.Stage, d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ev := StageEvent{Stage: string(stage), ElapsedNs: d.Nanoseconds(), Seq: len(f.stages)}
+	f.stages = append(f.stages, ev)
+	for ch := range f.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// subscribe registers a progress listener. The returned slice replays the
+// stages already completed; the channel carries the rest. The caller must
+// invoke the returned cancel function when it stops listening.
+func (f *flight) subscribe() ([]StageEvent, <-chan StageEvent, func()) {
+	ch := make(chan StageEvent, 64)
+	f.mu.Lock()
+	replay := append([]StageEvent(nil), f.stages...)
+	f.subs[ch] = struct{}{}
+	f.mu.Unlock()
+	return replay, ch, func() {
+		f.mu.Lock()
+		delete(f.subs, ch)
+		f.mu.Unlock()
+	}
+}
+
+func (f *flight) setState(s string) {
+	f.mu.Lock()
+	f.state = s
+	f.mu.Unlock()
+}
+
+// status is the GET /v1/jobs/{fp} view of the flight.
+func (f *flight) status() JobStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return JobStatus{
+		Fingerprint: f.fp,
+		State:       f.state,
+		Waiters:     f.waiters,
+		Stages:      append([]StageEvent(nil), f.stages...),
+	}
+}
+
+// JobStatus is the JSON body of the job status endpoint.
+type JobStatus struct {
+	Fingerprint string       `json:"fingerprint"`
+	State       string       `json:"state"`
+	Waiters     int          `json:"waiters"`
+	Stages      []StageEvent `json:"stages,omitempty"`
+}

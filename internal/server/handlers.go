@@ -1,0 +1,283 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+
+	"ese/internal/cli"
+	"ese/internal/diag"
+	"ese/internal/jobspec"
+)
+
+// maxBodyBytes bounds a job request body. Specs carry source text inline;
+// 4 MiB is orders of magnitude above any example while still refusing
+// abuse.
+const maxBodyBytes = 4 << 20
+
+// StatusClientClosedRequest is the nginx-convention status reported when
+// the job was canceled (by the client going away or an explicit DELETE)
+// rather than failing on its own.
+const StatusClientClosedRequest = 499
+
+// Handler returns the daemon's HTTP surface:
+//
+//	POST   /v1/jobs              submit a job spec, wait for the result
+//	GET    /v1/jobs/{fp}         status of an in-flight job
+//	DELETE /v1/jobs/{fp}         cancel an in-flight job
+//	GET    /v1/jobs/{fp}/events  SSE stream of stage-completion events
+//	GET    /healthz              liveness (503 while draining)
+//	GET    /metrics              metric snapshot (JSON; ?format=prom for
+//	                             Prometheus text exposition)
+//	GET    /debug/pprof/...      runtime profiling
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/v1/jobs/", s.handleJob)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// errorBody is the JSON envelope of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+	// Result carries the partial result (diagnostics, degradation tallies)
+	// of a failed job, when one exists.
+	Result *jobspec.Result `json:"result,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to do on error
+}
+
+func writeError(w http.ResponseWriter, status int, err error, res *jobspec.Result) {
+	writeJSON(w, status, errorBody{Error: err.Error(), Result: res})
+}
+
+// jobStatusCode maps a job error onto the HTTP status table documented in
+// README.md. It deliberately reuses the CLI exit-code classification, so
+// the daemon and the commands agree on what counts as the user's fault:
+// exit 2 (usage/input) maps to 400, deadline to 504, cancellation to 499,
+// everything else to 500.
+func jobStatusCode(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, diag.ErrDeadline):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, diag.ErrCanceled):
+		return StatusClientClosedRequest
+	case cli.ExitCode(err) == cli.ExitUsage:
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// admissionStatusCode maps submit() errors: drain to 503, capacity to 429.
+func admissionStatusCode(err error) int {
+	switch {
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrTenantLimit):
+		return http.StatusTooManyRequests
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// handleJobs is POST /v1/jobs: decode, validate, coalesce, wait, respond.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST a job spec"), nil)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err), nil)
+		return
+	}
+	spec, err := jobspec.ParseJSON(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err, nil)
+		return
+	}
+	f, err := s.submit(spec, r.Header.Get("X-Tenant"))
+	if err != nil {
+		writeError(w, admissionStatusCode(err), err, nil)
+		return
+	}
+	w.Header().Set("X-Job-Fingerprint", f.fp)
+	select {
+	case <-f.done:
+		if f.err != nil {
+			writeError(w, jobStatusCode(f.err), f.err, f.res)
+			return
+		}
+		writeJSON(w, http.StatusOK, f.res)
+	case <-r.Context().Done():
+		// The client went away; release our waiter slot (canceling the job
+		// if we were the last) and note the outcome for anyone tracing.
+		s.leave(f)
+		writeError(w, StatusClientClosedRequest, diag.FromContext(r.Context()), nil)
+	}
+}
+
+// handleJob routes /v1/jobs/{fp} and /v1/jobs/{fp}/events.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	if fp, ok := strings.CutSuffix(rest, "/events"); ok {
+		s.handleEvents(w, r, fp)
+		return
+	}
+	fp := rest
+	switch r.Method {
+	case http.MethodGet:
+		f := s.lookup(fp)
+		if f == nil {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no in-flight job %s", fp), nil)
+			return
+		}
+		writeJSON(w, http.StatusOK, f.status())
+	case http.MethodDelete:
+		if !s.CancelJob(fp) {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no in-flight job %s", fp), nil)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"canceled": fp})
+	default:
+		w.Header().Set("Allow", "GET, DELETE")
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET or DELETE"), nil)
+	}
+}
+
+// handleEvents is GET /v1/jobs/{fp}/events: a Server-Sent Events stream of
+// stage completions. Completed stages are replayed, then events stream as
+// the pipeline advances; a final "done" event carries the job's terminal
+// state ("ok", "canceled", "deadline" or "error") and closes the stream.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, fp string) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET an event stream"), nil)
+		return
+	}
+	f := s.lookup(fp)
+	if f == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no in-flight job %s", fp), nil)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"), nil)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+
+	send := func(ev StageEvent) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: stage\ndata: %s\n\n", data); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	replay, ch, unsub := f.subscribe()
+	defer unsub()
+	for _, ev := range replay {
+		if !send(ev) {
+			return
+		}
+	}
+	for {
+		select {
+		case ev := <-ch:
+			if !send(ev) {
+				return
+			}
+		case <-f.done:
+			// Flush any events that raced with completion, then finish.
+			for {
+				select {
+				case ev := <-ch:
+					if !send(ev) {
+						return
+					}
+					continue
+				default:
+				}
+				break
+			}
+			state := "ok"
+			switch {
+			case f.err == nil:
+			case errors.Is(f.err, diag.ErrDeadline):
+				state = "deadline"
+			case errors.Is(f.err, diag.ErrCanceled):
+				state = "canceled"
+			default:
+				state = "error"
+			}
+			fmt.Fprintf(w, "event: done\ndata: {\"state\":%q}\n\n", state)
+			fl.Flush()
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleHealthz is GET /healthz: 200 while serving, 503 while draining.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics is GET /metrics: the shared registry's snapshot with the
+// shared cache's counters folded in (same names the pipeline's
+// MetricsSnapshot uses). JSON by default; ?format=prom (or an Accept
+// header preferring text/plain) selects the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.reg.Snapshot()
+	cs := s.cache.Stats()
+	snap.Counters["cache.sched.hits"] = cs.SchedHits
+	snap.Counters["cache.sched.misses"] = cs.SchedMisses
+	snap.Counters["cache.est.hits"] = cs.EstHits
+	snap.Counters["cache.est.misses"] = cs.EstMisses
+	snap.Counters["cache.evictions"] = cs.Evictions
+	sched, est := s.cache.Len()
+	snap.Gauges["cache.entries.sched"] = int64(sched)
+	snap.Gauges["cache.entries.est"] = int64(est)
+
+	prom := r.URL.Query().Get("format") == "prom" ||
+		strings.Contains(r.Header.Get("Accept"), "text/plain")
+	if prom {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_ = snap.WriteProm(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
