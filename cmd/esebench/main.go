@@ -12,15 +12,23 @@
 //	              tree/compiled/board differential over every example
 //	              design, the metamorphic estimator invariants, and the
 //	              seeded-mutation corpus (every corruption must be caught)
+//	-dse FILE     run the design-space sweep described in FILE (see
+//	              DESIGN.md) and print its Pareto front; the esedse
+//	              command adds sharding, checkpoint/resume and file
+//	              outputs
 //	-metrics      print the pipeline's internal metrics snapshot at exit
 //	-pprof ADDR   serve net/http/pprof on ADDR (e.g. localhost:6060) for
 //	              the duration of the run
 //
 // Exit codes: 0 success, 1 runtime failure (including timeout), 2 usage or
-// input error. Diagnostics go to stderr, results to stdout.
+// input error. For -bench-compare specifically: 0 within tolerance, 1 a
+// genuine benchmark regression, 2 a baseline that is missing, truncated,
+// or from a different design set. Diagnostics go to stderr, results to
+// stdout.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -31,6 +39,7 @@ import (
 	"ese"
 	"ese/internal/apps"
 	"ese/internal/cli"
+	"ese/internal/dse"
 	"ese/internal/experiments"
 	"ese/internal/jobspec"
 	"ese/internal/pum"
@@ -50,6 +59,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit results as JSON lines instead of tables")
 	showMetrics := flag.Bool("metrics", false, "print the pipeline metrics snapshot at exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	dseSpec := flag.String("dse", "", "run the design-space sweep described in FILE and print its Pareto front")
 	benchJSON := flag.String("bench-json", "", "measure the engine perf trajectory and write it as JSON to FILE (\"-\" = stdout)")
 	benchCompare := flag.String("bench-compare", "", "measure the engine perf trajectory and compare it against the baseline JSON in FILE")
 	benchReps := flag.Int("bench-reps", 5, "repetitions per design for -bench-json/-bench-compare (min is recorded)")
@@ -69,6 +79,10 @@ func main() {
 
 	if *validate {
 		cli.Fail("esebench", ese.ValidationSuite(os.Stdout, spec.Frames))
+		return
+	}
+	if *dseSpec != "" {
+		cli.Fail("esebench", runDSE(*dseSpec, *jsonOut))
 		return
 	}
 	cli.Fail("esebench", run(&spec, *table, *ablation, *all, *jsonOut, *showMetrics, benchCfg{
@@ -205,6 +219,36 @@ func run(spec *jobspec.Spec, table int, ablation string, all, jsonOut, showMetri
 	return nil
 }
 
+// runDSE runs a declarative design-space sweep and prints its Pareto
+// front — the quick-look mode; the esedse command adds sharded
+// checkpointing, resume and file outputs for real sweeps.
+func runDSE(path string, jsonOut bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return cli.Input(err)
+	}
+	sweep, err := dse.ParseSweep(data)
+	if err != nil {
+		return cli.Input(err)
+	}
+	res, err := dse.Run(context.Background(), sweep, dse.Options{})
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		data, err := json.Marshal(res)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	s := res.Summary
+	fmt.Printf("design-space sweep: %d points, %d on the Pareto front, cache hit rate %.1f%%\n",
+		s.Points, len(res.Pareto), 100*s.CacheHitRate)
+	return dse.WriteCSV(os.Stdout, res.Pareto)
+}
+
 // runBench measures the engine perf trajectory and either records it
 // (-bench-json) or checks it against a committed baseline (-bench-compare).
 func runBench(s *experiments.Setup, bench benchCfg) error {
@@ -228,15 +272,14 @@ func runBench(s *experiments.Setup, bench benchCfg) error {
 		}
 	}
 	if bench.compare != "" {
-		data, err := os.ReadFile(bench.compare)
+		// A missing, truncated or wrong-design-set baseline is an input
+		// error (exit 2); only a genuine regression of the measurement
+		// exits 1.
+		base, err := experiments.LoadBaseline(bench.compare)
 		if err != nil {
 			return err
 		}
-		var base experiments.PerfBench
-		if err := json.Unmarshal(data, &base); err != nil {
-			return fmt.Errorf("baseline %s: %w", bench.compare, err)
-		}
-		if violations := cur.Compare(&base, bench.tol); len(violations) > 0 {
+		if violations := cur.Compare(base, bench.tol); len(violations) > 0 {
 			for _, v := range violations {
 				fmt.Fprintf(os.Stderr, "esebench: bench regression: %s\n", v)
 			}

@@ -54,10 +54,18 @@ type Cache struct {
 	sched map[schedKey]SchedResult
 	est   map[estKey]Estimate
 	// limit bounds each map's entry count; 0 means unbounded. When a put
-	// would exceed the bound, one resident entry is dropped (random, via
-	// map iteration order — content-addressed entries are equally cheap to
-	// recompute, so the victim choice only affects hit rate, not results).
+	// would exceed the bound, one resident entry is dropped, chosen by a
+	// seeded deterministic generator over the insertion-ordered key list —
+	// content-addressed entries are equally cheap to recompute, so the
+	// victim choice only affects hit rate, never results, but picking it
+	// via Go's randomized map iteration made bounded-cache hit rates (and
+	// thus benchmark and DSE timing baselines) wobble run to run.
 	limit int
+	// rng is the splitmix64 state of the victim picker; schedKeys/estKeys
+	// mirror each map's resident keys (maintained only when limit > 0).
+	rng       uint64
+	schedKeys []schedKey
+	estKeys   []estKey
 
 	schedHits, schedMisses atomic.Uint64
 	estHits, estMisses     atomic.Uint64
@@ -71,7 +79,19 @@ func NewCache() *Cache {
 
 // NewCacheLimit returns a cache holding at most maxEntries schedule
 // results and maxEntries estimates; maxEntries <= 0 means unbounded.
+// Eviction at the bound is deterministic: the same sequence of gets and
+// puts always drops the same victims (seed fixed at 1). Callers that want
+// a distinct-but-reproducible eviction pattern use NewCacheLimitSeeded.
 func NewCacheLimit(maxEntries int) *Cache {
+	return NewCacheLimitSeeded(maxEntries, 1)
+}
+
+// NewCacheLimitSeeded is NewCacheLimit with an explicit seed for the
+// eviction victim picker. Two caches built with the same limit and seed
+// and fed the same operation sequence evict identical victims — the
+// property the benchmark harness and kill/resume DSE sweeps rely on for
+// byte-identical reruns.
+func NewCacheLimitSeeded(maxEntries int, seed uint64) *Cache {
 	if maxEntries < 0 {
 		maxEntries = 0
 	}
@@ -79,7 +99,17 @@ func NewCacheLimit(maxEntries int) *Cache {
 		sched: make(map[schedKey]SchedResult),
 		est:   make(map[estKey]Estimate),
 		limit: maxEntries,
+		rng:   seed,
 	}
+}
+
+// nextRand advances the splitmix64 stream; callers hold c.mu.
+func (c *Cache) nextRand() uint64 {
+	c.rng += 0x9e3779b97f4a7c15
+	z := c.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // Stats returns a snapshot of the hit/miss/eviction counters.
@@ -114,13 +144,18 @@ func (c *Cache) schedGet(k schedKey) (SchedResult, bool) {
 
 func (c *Cache) schedPut(k schedKey, sr SchedResult) {
 	c.mu.Lock()
-	if c.limit > 0 && len(c.sched) >= c.limit {
+	if c.limit > 0 {
 		if _, resident := c.sched[k]; !resident {
-			for victim := range c.sched {
-				delete(c.sched, victim)
+			// The victim is drawn from the residents before k joins the key
+			// list, so the just-inserted key can never evict itself.
+			if len(c.sched) >= c.limit {
+				i := int(c.nextRand() % uint64(len(c.schedKeys)))
+				delete(c.sched, c.schedKeys[i])
+				c.schedKeys[i] = c.schedKeys[len(c.schedKeys)-1]
+				c.schedKeys = c.schedKeys[:len(c.schedKeys)-1]
 				c.evictions.Add(1)
-				break
 			}
+			c.schedKeys = append(c.schedKeys, k)
 		}
 	}
 	c.sched[k] = sr
@@ -141,13 +176,16 @@ func (c *Cache) estGet(k estKey) (Estimate, bool) {
 
 func (c *Cache) estPut(k estKey, e Estimate) {
 	c.mu.Lock()
-	if c.limit > 0 && len(c.est) >= c.limit {
+	if c.limit > 0 {
 		if _, resident := c.est[k]; !resident {
-			for victim := range c.est {
-				delete(c.est, victim)
+			if len(c.est) >= c.limit {
+				i := int(c.nextRand() % uint64(len(c.estKeys)))
+				delete(c.est, c.estKeys[i])
+				c.estKeys[i] = c.estKeys[len(c.estKeys)-1]
+				c.estKeys = c.estKeys[:len(c.estKeys)-1]
 				c.evictions.Add(1)
-				break
 			}
+			c.estKeys = append(c.estKeys, k)
 		}
 	}
 	c.est[k] = e

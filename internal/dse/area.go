@@ -1,0 +1,52 @@
+package dse
+
+import "ese/internal/pum"
+
+// The FU-area proxy is a deliberately simple, deterministic cost model:
+// relative silicon weights per functional-unit kind, multiplied by the
+// post-tune quantities across all issue pipelines, plus a flat cost per
+// hardware PE of the mapping and a small per-stage register cost. It is
+// not calibrated area — it exists to give the Pareto front a monotone
+// "more hardware" axis that is a pure function of the design point, so
+// reruns and resumed sweeps emit byte-identical tables.
+var fuAreaWeights = map[string]float64{
+	"alu": 1, "bru": 1, "lsu": 2, "mul": 3, "div": 8,
+}
+
+const (
+	defaultFUWeight = 2.0  // unknown FU kinds
+	hwPECost        = 12.0 // one hardware PE of the mapping
+	stageRegCost    = 0.5  // one pipeline stage's registers, per pipeline
+)
+
+// hwPEs maps design names onto their hardware PE count.
+var hwPEs = map[string]int{
+	"SW": 0, "SW+1": 1, "SW+2": 2, "SW+4": 4, "SW+DCT": 1,
+}
+
+// areaProxy scores one design point. Stock values (depth/issue 0, empty
+// mix) fall back to the MicroBlaze-like base datapath, so the stock point
+// scores identically whether its axes are implicit or spelled out.
+func areaProxy(design string, depth, issue int, mix map[string]int) float64 {
+	base := pum.MicroBlaze()
+	if depth == 0 {
+		depth = len(base.Pipelines[0].Stages)
+	}
+	if issue == 0 {
+		issue = len(base.Pipelines)
+	}
+	area := float64(hwPEs[design]) * hwPECost
+	area += float64(issue) * float64(depth) * stageRegCost
+	for _, fu := range base.FUs {
+		qty := fu.Quantity
+		if n, ok := mix[fu.ID]; ok {
+			qty = n
+		}
+		w, ok := fuAreaWeights[fu.ID]
+		if !ok {
+			w = defaultFUWeight
+		}
+		area += w * float64(qty)
+	}
+	return area
+}

@@ -1,0 +1,140 @@
+package dse
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"ese/internal/jobspec"
+)
+
+// Row is one completed sweep point in result-table form. Every field is
+// a pure function of the point's spec and the deterministic simulation
+// outcome — wall-clock and other host-dependent measurements live in
+// Summary, never in rows, so CSV/JSON outputs are byte-identical across
+// reruns and kill/resume cycles.
+type Row struct {
+	Index         int      `json:"index"`
+	App           string   `json:"app"`
+	Design        string   `json:"design"`
+	Depth         int      `json:"depth,omitempty"`
+	Issue         int      `json:"issue,omitempty"`
+	FUs           string   `json:"fus,omitempty"`
+	ICache        int      `json:"icache"`
+	DCache        int      `json:"dcache"`
+	BranchMiss    *float64 `json:"branch_miss,omitempty"`
+	BranchPenalty *float64 `json:"branch_penalty,omitempty"`
+	// Area is the deterministic FU-area proxy of the point.
+	Area float64 `json:"area"`
+	// EndPs is the simulated end time; BusCycles its bus-clock form.
+	EndPs     uint64 `json:"end_ps"`
+	BusCycles uint64 `json:"bus_cycles,omitempty"`
+	// Steps counts simulator steps — the deterministic estimation-effort
+	// proxy the Pareto front minimizes alongside cycles and area.
+	Steps uint64 `json:"steps"`
+}
+
+// rowFor joins a point with its run result.
+func rowFor(pt Point, res *jobspec.Result) Row {
+	r := Row{
+		Index:  pt.Index,
+		App:    pt.Spec.App,
+		Design: pt.Spec.Design,
+		ICache: pt.Spec.ICache,
+		DCache: pt.Spec.DCache,
+		Area:   pt.Area,
+	}
+	if t := pt.Spec.Tune; t != nil {
+		r.Depth, r.Issue = t.Depth, t.Issue
+		r.FUs = fuString(t.FUs)
+		r.BranchMiss, r.BranchPenalty = t.BranchMiss, t.BranchPenalty
+	}
+	if res.TLM != nil {
+		r.EndPs = res.TLM.EndPs
+		r.BusCycles = res.TLM.BusCycles
+		r.Steps = res.TLM.Steps
+	}
+	return r
+}
+
+// csvHeader is the fixed column set of WriteCSV and WriteParetoCSV.
+const csvHeader = "index,app,design,depth,issue,fus,icache,dcache,branch_miss,branch_penalty,area,end_ps,bus_cycles,steps"
+
+// WriteCSV renders the rows as a deterministic CSV table (fixed header,
+// rows in index order as given, %g floats, empty cells for unset
+// branch-model overrides).
+func WriteCSV(w io.Writer, rows []Row) error {
+	if _, err := fmt.Fprintln(w, csvHeader); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		miss, pen := "", ""
+		if r.BranchMiss != nil {
+			miss = fmt.Sprintf("%g", *r.BranchMiss)
+		}
+		if r.BranchPenalty != nil {
+			pen = fmt.Sprintf("%g", *r.BranchPenalty)
+		}
+		if _, err := fmt.Fprintf(w, "%d,%s,%s,%d,%d,%s,%d,%d,%s,%s,%g,%d,%d,%d\n",
+			r.Index, r.App, csvField(r.Design), r.Depth, r.Issue, r.FUs,
+			r.ICache, r.DCache, miss, pen, r.Area, r.EndPs, r.BusCycles, r.Steps); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// csvField guards against separators sneaking into a name field.
+func csvField(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// WriteJSON renders the rows as an indented JSON array — deterministic
+// for a fixed row slice.
+func WriteJSON(w io.Writer, rows []Row) error {
+	if rows == nil {
+		rows = []Row{}
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// dominates reports whether a is at least as good as b on every
+// objective (end time, area proxy, simulation steps — all minimized) and
+// strictly better on at least one.
+func dominates(a, b Row) bool {
+	if a.EndPs > b.EndPs || a.Area > b.Area || a.Steps > b.Steps {
+		return false
+	}
+	return a.EndPs < b.EndPs || a.Area < b.Area || a.Steps < b.Steps
+}
+
+// ParetoFront returns the non-dominated rows in input order. Rows equal
+// on every objective do not dominate each other, so duplicates of one
+// trade-off point all survive — the front stays a pure function of the
+// row set.
+func ParetoFront(rows []Row) []Row {
+	front := []Row{}
+	for i, r := range rows {
+		dominated := false
+		for j, o := range rows {
+			if i != j && dominates(o, r) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, r)
+		}
+	}
+	return front
+}

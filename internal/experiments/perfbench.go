@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"runtime"
 	"strings"
 	"time"
 
 	"ese/internal/apps"
+	"ese/internal/cli"
 	"ese/internal/core"
 	"ese/internal/interp"
 	"ese/internal/pum"
@@ -135,6 +138,46 @@ func RunPerfBench(s *Setup, reps int) (*PerfBench, error) {
 		out.Rows = append(out.Rows, row)
 	}
 	return out, nil
+}
+
+// LoadBaseline reads and validates a committed benchmark baseline
+// (BENCH_tlm.json). Every way the baseline can be unusable — missing
+// file, truncated or malformed JSON, no rows, rows for designs this
+// build does not know (a baseline from a different design set) — is an
+// input error (exit 2 / HTTP 400), not a runtime failure: the
+// measurement itself never ran, so exit 1 would misreport a benchmark
+// regression.
+func LoadBaseline(path string) (*PerfBench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, cli.Input(fmt.Errorf("bench baseline: %w", err))
+	}
+	var b PerfBench
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, cli.Input(fmt.Errorf("bench baseline %s: malformed or truncated JSON: %w", path, err))
+	}
+	if len(b.Rows) == 0 {
+		return nil, cli.Input(fmt.Errorf("bench baseline %s: no measurement rows", path))
+	}
+	known := make(map[string]bool, len(apps.MP3DesignNames))
+	for _, d := range apps.MP3DesignNames {
+		known[d] = true
+	}
+	seen := make(map[string]bool, len(b.Rows))
+	for _, r := range b.Rows {
+		if !known[r.Design] {
+			return nil, cli.Input(fmt.Errorf(
+				"bench baseline %s: unknown design %q — baseline from a different design set?", path, r.Design))
+		}
+		if seen[r.Design] {
+			return nil, cli.Input(fmt.Errorf("bench baseline %s: duplicate design %q", path, r.Design))
+		}
+		seen[r.Design] = true
+		if r.Speedup < 0 || r.TreeNs < 0 || r.CompiledNs < 0 {
+			return nil, cli.Input(fmt.Errorf("bench baseline %s: design %q has negative measurements", path, r.Design))
+		}
+	}
+	return &b, nil
 }
 
 // Compare checks a fresh measurement against a committed baseline and

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ese/internal/cli"
+)
+
+// Regression: a corrupt or mismatched -bench-compare baseline must be a
+// pinned input error (exit 2), never an unspecified runtime failure or a
+// false "benchmark regression" (exit 1).
+func TestLoadBaselineRejectsCorruptBaselines(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	const good = `{"frames":2,"reps":5,"rows":[
+		{"design":"SW","sim_cycles":100,"end_ps":1000,"tree_ns":50,"compiled_ns":10,"speedup":5.0},
+		{"design":"SW+4","sim_cycles":60,"end_ps":700,"tree_ns":40,"compiled_ns":10,"speedup":4.0}]}`
+
+	cases := []struct {
+		name, path, wantErr string
+	}{
+		{"missing", filepath.Join(dir, "nope.json"), "no such file"},
+		{"truncated", write("trunc.json", good[:len(good)/2]), "truncated"},
+		{"empty object", write("empty.json", `{}`), "no measurement rows"},
+		{"wrong design set", write("foreign.json",
+			`{"frames":2,"reps":5,"rows":[{"design":"RISCV+VEC","speedup":2.0}]}`),
+			"different design set"},
+		{"duplicate design", write("dup.json",
+			`{"frames":2,"reps":5,"rows":[{"design":"SW","speedup":2.0},{"design":"SW","speedup":2.0}]}`),
+			"duplicate design"},
+		{"negative measurement", write("neg.json",
+			`{"frames":2,"reps":5,"rows":[{"design":"SW","speedup":-1.0}]}`),
+			"negative measurements"},
+	}
+	for _, tc := range cases {
+		_, err := LoadBaseline(tc.path)
+		if err == nil {
+			t.Fatalf("%s: baseline accepted", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+		if code := cli.ExitCode(err); code != cli.ExitUsage {
+			t.Fatalf("%s: exit code %d, want %d (input error)", tc.name, code, cli.ExitUsage)
+		}
+	}
+
+	b, err := LoadBaseline(write("good.json", good))
+	if err != nil {
+		t.Fatalf("valid baseline rejected: %v", err)
+	}
+	if len(b.Rows) != 2 || b.Frames != 2 {
+		t.Fatalf("baseline decoded wrong: %+v", b)
+	}
+}
+
+// A regression against a valid baseline stays a runtime failure (exit 1):
+// Compare reports violations and the caller returns a plain error.
+func TestCompareClassification(t *testing.T) {
+	base := &PerfBench{Frames: 2, Rows: []PerfBenchRow{
+		{Design: "SW", SimCycles: 100, EndPs: 1000, Speedup: 5.0},
+	}}
+	cur := &PerfBench{Frames: 2, Rows: []PerfBenchRow{
+		{Design: "SW", SimCycles: 100, EndPs: 1000, Speedup: 2.0},
+	}}
+	violations := cur.Compare(base, 0.30)
+	if len(violations) != 1 || !strings.Contains(violations[0], "speedup") {
+		t.Fatalf("violations = %v", violations)
+	}
+	ok := &PerfBench{Frames: 2, Rows: []PerfBenchRow{
+		{Design: "SW", SimCycles: 100, EndPs: 1000, Speedup: 4.9},
+	}}
+	if v := ok.Compare(base, 0.30); len(v) != 0 {
+		t.Fatalf("within-tolerance run flagged: %v", v)
+	}
+	// A current run missing a baselined design is a violation, not a parse
+	// problem: the baseline was valid, the measurement fell short.
+	missing := &PerfBench{Frames: 2}
+	if v := missing.Compare(base, 0.30); len(v) != 1 {
+		t.Fatalf("missing-design run not flagged: %v", v)
+	}
+}

@@ -52,11 +52,12 @@ func (s *Spec) BindProfile(fs *flag.FlagSet) {
 	fs.Uint64Var(&s.Steps, "steps", s.Steps, "dynamic step limit for -profile (0 = none)")
 }
 
-// BindWorkload registers esetlm's workload flags: -design, -frames,
+// BindWorkload registers esetlm's workload flags: -app, -design, -frames,
 // -engine and -calibrate.
 func (s *Spec) BindWorkload(fs *flag.FlagSet) {
-	fs.StringVar(&s.Design, "design", s.Design, "design name (SW, SW+1, SW+2, SW+4)")
-	fs.IntVar(&s.Frames, "frames", s.Frames, "MP3 frames to decode")
+	fs.StringVar(&s.App, "app", s.App, "application: mp3 | jpeg")
+	fs.StringVar(&s.Design, "design", s.Design, "design name (mp3: SW, SW+1, SW+2, SW+4; jpeg: SW, SW+DCT)")
+	fs.IntVar(&s.Frames, "frames", s.Frames, "workload size (MP3 frames, or 8x8 blocks for jpeg)")
 	fs.StringVar(&s.Engine, "engine", s.Engine, "functional | timed | board")
 	fs.BoolVar(&s.Calibrate, "calibrate", s.Calibrate, "calibrate the PUM on the training workload")
 }

@@ -19,6 +19,8 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"sort"
+	"strings"
 	"time"
 
 	"ese/internal/core"
@@ -43,6 +45,96 @@ const (
 	EngineTimed      = "timed"
 	EngineBoard      = "board"
 )
+
+// Applications a KindTLM job may target.
+const (
+	// AppMP3 is the MP3-like decoder corpus (designs SW, SW+1, SW+2, SW+4).
+	AppMP3 = "mp3"
+	// AppJPEG is the JPEG-like encoder corpus (designs SW, SW+DCT). Frames
+	// counts 8x8 blocks for this app.
+	AppJPEG = "jpeg"
+)
+
+// Default workload seeds per app, mirrored from internal/apps so that
+// Validate/Fingerprint stay free of the app-construction dependency
+// (resolve.go consumes apps; a test pins the mirror against the source).
+var defaultSeeds = map[string]uint32{
+	AppMP3:  0xC0FFEE, // apps.DefaultMP3.Seed
+	AppJPEG: 0xBEEF,   // apps.DefaultJPEG.Seed
+}
+
+// Tune is the structural design-space tuning of a TLM job's processor
+// model: the DSE axes over the datapath and branch sub-models, applied to
+// the (optionally calibrated) base model before cache retargeting. The
+// zero value (and nil) mean "stock model".
+type Tune struct {
+	// Depth re-times the pipeline to this stage count (0 = keep).
+	Depth int `json:"depth,omitempty"`
+	// Issue sets the number of single-issue pipelines (0 = keep; >1 makes
+	// an in-order model superscalar via the ASAP policy).
+	Issue int `json:"issue,omitempty"`
+	// FUs overrides functional-unit quantities by ID (absent = keep).
+	FUs map[string]int `json:"fus,omitempty"`
+	// BranchMiss overrides the branch misprediction ratio (nil = keep).
+	BranchMiss *float64 `json:"branch_miss,omitempty"`
+	// BranchPenalty overrides the misprediction penalty (nil = keep).
+	BranchPenalty *float64 `json:"branch_penalty,omitempty"`
+}
+
+// isZero reports whether the tune changes nothing — such a Tune is
+// canonicalized to nil so it cannot split a fingerprint.
+func (t *Tune) isZero() bool {
+	return t == nil || (t.Depth == 0 && t.Issue == 0 && len(t.FUs) == 0 &&
+		t.BranchMiss == nil && t.BranchPenalty == nil)
+}
+
+// clone deep-copies the tune (nil stays nil).
+func (t *Tune) clone() *Tune {
+	if t == nil {
+		return nil
+	}
+	c := *t
+	if t.FUs != nil {
+		c.FUs = make(map[string]int, len(t.FUs))
+		for k, v := range t.FUs {
+			c.FUs[k] = v
+		}
+	}
+	if t.BranchMiss != nil {
+		v := *t.BranchMiss
+		c.BranchMiss = &v
+	}
+	if t.BranchPenalty != nil {
+		v := *t.BranchPenalty
+		c.BranchPenalty = &v
+	}
+	return &c
+}
+
+// validate checks the tune's ranges.
+func (t *Tune) validate() error {
+	if t == nil {
+		return nil
+	}
+	if t.Depth != 0 && (t.Depth < 2 || t.Depth > 16) {
+		return fmt.Errorf("jobspec: tune depth %d out of [2,16]", t.Depth)
+	}
+	if t.Issue != 0 && (t.Issue < 1 || t.Issue > 8) {
+		return fmt.Errorf("jobspec: tune issue %d out of [1,8]", t.Issue)
+	}
+	for id, n := range t.FUs {
+		if n < 1 {
+			return fmt.Errorf("jobspec: tune FU %q quantity %d must be positive", id, n)
+		}
+	}
+	if t.BranchMiss != nil && (*t.BranchMiss < 0 || *t.BranchMiss > 1 || *t.BranchMiss != *t.BranchMiss) {
+		return fmt.Errorf("jobspec: tune branch miss rate %v out of [0,1]", *t.BranchMiss)
+	}
+	if t.BranchPenalty != nil && (*t.BranchPenalty < 0 || *t.BranchPenalty != *t.BranchPenalty) {
+		return fmt.Errorf("jobspec: tune branch penalty %v must be non-negative", *t.BranchPenalty)
+	}
+	return nil
+}
 
 // Source is the program input of an estimation job: a C-subset source
 // carried inline, plus the name used in diagnostics.
@@ -73,11 +165,18 @@ type Spec struct {
 	// Model is the PE model of an estimation job.
 	Model Model `json:"model,omitempty"`
 
-	// Design names the built-in mapped design of a TLM job (SW, SW+1,
-	// SW+2, SW+4).
+	// App names the application corpus of a TLM job: AppMP3 (default) or
+	// AppJPEG.
+	App string `json:"app,omitempty"`
+	// Design names the built-in mapped design of a TLM job (mp3: SW, SW+1,
+	// SW+2, SW+4; jpeg: SW, SW+DCT).
 	Design string `json:"design,omitempty"`
-	// Frames sizes the MP3 workload of a TLM job.
+	// Frames sizes the workload of a TLM job (MP3 frames, or 8x8 blocks
+	// for the JPEG app).
 	Frames int `json:"frames,omitempty"`
+	// Tune structurally varies the processor model of a TLM job (DSE axes
+	// over pipeline depth, issue width, FU mix and the branch model).
+	Tune *Tune `json:"tune,omitempty"`
 	// Seed seeds the workload generator; zero selects the standard
 	// evaluation seed.
 	Seed uint32 `json:"seed,omitempty"`
@@ -145,6 +244,7 @@ func Default() Spec {
 func DefaultTLM() Spec {
 	s := Default()
 	s.Kind = KindTLM
+	s.App = AppMP3
 	s.Design = "SW"
 	s.Frames = 2
 	s.Engine = EngineTimed
@@ -182,10 +282,27 @@ func (d *Duration) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
-// knownDesigns mirrors apps.MP3DesignNames without importing it here
-// (resolve.go consumes the apps package; validation should not need to
-// build anything).
-var knownDesigns = map[string]bool{"SW": true, "SW+1": true, "SW+2": true, "SW+4": true}
+// knownDesigns mirrors the design catalogs of internal/apps without
+// importing it here (resolve.go consumes the apps package; validation
+// should not need to build anything).
+var knownDesigns = map[string]map[string]bool{
+	AppMP3:  {"SW": true, "SW+1": true, "SW+2": true, "SW+4": true},
+	AppJPEG: {"SW": true, "SW+DCT": true},
+}
+
+// DesignNames lists the valid designs of an app, sorted (empty for an
+// unknown app) — the vocabulary the DSE expander validates sweeps against.
+func DesignNames(app string) []string {
+	if app == "" {
+		app = AppMP3
+	}
+	out := make([]string, 0, len(knownDesigns[app]))
+	for d := range knownDesigns[app] {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
 
 // Validate checks the spec for structural problems a front end should
 // reject before any work is spent on it.
@@ -199,8 +316,17 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("jobspec: estimate job names no PE model")
 		}
 	case KindTLM:
-		if !knownDesigns[s.Design] {
-			return fmt.Errorf("jobspec: unknown design %q (want SW, SW+1, SW+2 or SW+4)", s.Design)
+		app := s.App
+		if app == "" {
+			app = AppMP3
+		}
+		designs, ok := knownDesigns[app]
+		if !ok {
+			return fmt.Errorf("jobspec: unknown app %q (want %s or %s)", s.App, AppMP3, AppJPEG)
+		}
+		if !designs[s.Design] {
+			return fmt.Errorf("jobspec: unknown design %q for app %s (want %s)",
+				s.Design, app, strings.Join(DesignNames(app), ", "))
 		}
 		if s.Frames < 1 {
 			return fmt.Errorf("jobspec: tlm job needs frames >= 1, got %d", s.Frames)
@@ -209,6 +335,9 @@ func (s *Spec) Validate() error {
 		case EngineFunctional, EngineTimed, EngineBoard:
 		default:
 			return fmt.Errorf("jobspec: unknown engine %q (want functional, timed or board)", s.Engine)
+		}
+		if err := s.Tune.validate(); err != nil {
+			return err
 		}
 	default:
 		return fmt.Errorf("jobspec: unknown job kind %q (want %s or %s)", s.Kind, KindEstimate, KindTLM)
@@ -265,14 +394,71 @@ func (s *Spec) EncodeJSON() ([]byte, error) {
 	return json.Marshal(s)
 }
 
-// Fingerprint returns the sha256 hex digest of the spec's canonical
-// encoding — the content-addressed identity under which the daemon
-// coalesces concurrent identical jobs. Two specs that differ only in
-// presentation options that do not change the computed result (Top) still
-// hash differently; that is deliberate: the fingerprint addresses the
-// response, not just the simulation.
+// Normalized returns a copy of the spec canonicalized to resolved
+// defaults: fields left at their "pick the default" zero value are
+// rewritten to the value the Runner would actually use, and fields the
+// job's kind never reads are cleared. Two specs describing the same job —
+// one spelling a default out, one relying on the kind-probed defaults —
+// normalize identically, which is what makes Fingerprint a usable
+// coalescing and cache key. Presentation options that shape the response
+// (Top) are deliberately kept.
+func (s *Spec) Normalized() Spec {
+	n := *s
+	n.Tune = n.Tune.clone()
+	if n.Exec == "" {
+		n.Exec = "auto"
+	}
+	if n.Fallback < 1 {
+		n.Fallback = core.DefaultFallbackCycles
+	}
+	switch n.Kind {
+	case KindEstimate:
+		if n.Source.Name == "" {
+			n.Source.Name = "job.c"
+		}
+		// Entry/Steps steer only profiled runs.
+		if n.Profile {
+			if n.Entry == "" {
+				n.Entry = "main"
+			}
+		} else {
+			n.Entry, n.Steps = "", 0
+		}
+		// TLM-only fields are inert on an estimation job.
+		n.App, n.Design, n.Engine = "", "", ""
+		n.Frames, n.Seed = 0, 0
+		n.Calibrate = false
+		n.Tune = nil
+	case KindTLM:
+		if n.App == "" {
+			n.App = AppMP3
+		}
+		if n.Engine == "" {
+			n.Engine = EngineTimed
+		}
+		if n.Seed == 0 {
+			n.Seed = defaultSeeds[n.App]
+		}
+		if n.Tune.isZero() {
+			n.Tune = nil
+		}
+		// Estimation-only fields are inert on a TLM job.
+		n.Source, n.Model = Source{}, Model{}
+		n.Entry, n.Steps = "", 0
+	}
+	return n
+}
+
+// Fingerprint returns the sha256 hex digest of the normalized spec's
+// canonical encoding — the content-addressed identity under which the
+// daemon coalesces concurrent identical jobs and the DSE runner verifies
+// resumed sweep points. Normalization (see Normalized) guarantees that a
+// spec spelling out a default and one relying on kind-probed defaults
+// hash identically; options that change the response (including
+// presentation ones like Top) still hash apart.
 func (s *Spec) Fingerprint() string {
-	data, err := json.Marshal(s)
+	n := s.Normalized()
+	data, err := json.Marshal(&n)
 	if err != nil {
 		// Spec is plain data; Marshal can only fail on exotic corruption.
 		return fmt.Sprintf("unmarshalable:%v", err)

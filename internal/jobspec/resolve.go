@@ -64,28 +64,71 @@ func (s *Spec) ApplyCache(model *pum.PUM) (*pum.PUM, error) {
 	return model, nil
 }
 
-// BuildDesign materializes a TLM job's mapped platform: the (optionally
-// calibrated) MicroBlaze-like processor model plus the named MP3 design
-// under the spec's cache configuration.
-func (s *Spec) BuildDesign() (*platform.Design, error) {
-	cfg := apps.MP3Config{Frames: s.Frames, Seed: apps.DefaultMP3.Seed}
-	if s.Seed != 0 {
-		cfg.Seed = s.Seed
-	}
+// BaseModel materializes a TLM job's base processor model: the
+// MicroBlaze-like soft core, calibrated on the shared training workload
+// when the spec asks for it. The result depends only on s.Calibrate — the
+// training workload is fixed — which is what lets the Runner and the DSE
+// sweep driver memoize it across thousands of jobs.
+func (s *Spec) BaseModel() (*pum.PUM, error) {
 	mb := pum.MicroBlaze()
-	if s.Calibrate {
-		trainSrc, err := apps.MP3Source("SW", apps.TrainMP3)
+	if !s.Calibrate {
+		return mb, nil
+	}
+	trainSrc, err := apps.MP3Source("SW", apps.TrainMP3)
+	if err != nil {
+		return nil, err
+	}
+	trainProg, err := apps.Compile("train.c", trainSrc)
+	if err != nil {
+		return nil, err
+	}
+	return rtl.Calibrate(mb, trainProg, "main", pum.StandardCacheConfigs, 0)
+}
+
+// BuildDesign materializes a TLM job's mapped platform: the (optionally
+// calibrated, optionally tuned) processor model plus the named design of
+// the spec's app under the spec's cache configuration.
+func (s *Spec) BuildDesign() (*platform.Design, error) {
+	base, err := s.BaseModel()
+	if err != nil {
+		return nil, err
+	}
+	return s.BuildDesignFrom(base)
+}
+
+// BuildDesignFrom is BuildDesign with the base processor model supplied by
+// the caller (typically memoized across jobs — calibration is orders of
+// magnitude more expensive than design construction). The base model is
+// never mutated: tuning and cache retargeting operate on clones.
+func (s *Spec) BuildDesignFrom(base *pum.PUM) (*platform.Design, error) {
+	mb := base
+	if t := s.Tune; !t.isZero() {
+		var err error
+		mb, err = base.WithDatapath(t.Depth, t.Issue, t.FUs)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("jobspec: tune: %w", err)
 		}
-		trainProg, err := apps.Compile("train.c", trainSrc)
-		if err != nil {
-			return nil, err
+		if t.BranchMiss != nil {
+			mb.Branch.MissRate = *t.BranchMiss
 		}
-		mb, err = rtl.Calibrate(mb, trainProg, "main", pum.StandardCacheConfigs, 0)
-		if err != nil {
-			return nil, err
+		if t.BranchPenalty != nil {
+			mb.Branch.Penalty = *t.BranchPenalty
 		}
 	}
-	return apps.MP3Design(s.Design, cfg, mb, pum.CacheCfg{ISize: s.ICache, DSize: s.DCache})
+	cacheCfg := pum.CacheCfg{ISize: s.ICache, DSize: s.DCache}
+	app := s.App
+	if app == "" {
+		app = AppMP3
+	}
+	seed := s.Seed
+	if seed == 0 {
+		seed = defaultSeeds[app]
+	}
+	switch app {
+	case AppMP3:
+		return apps.MP3Design(s.Design, apps.MP3Config{Frames: s.Frames, Seed: seed}, mb, cacheCfg)
+	case AppJPEG:
+		return apps.JPEGDesign(s.Design, apps.JPEGConfig{Blocks: s.Frames, Seed: seed}, mb, cacheCfg)
+	}
+	return nil, fmt.Errorf("jobspec: unknown app %q", s.App)
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"sync"
 	"time"
 
 	"ese/internal/cdfg"
@@ -31,6 +32,32 @@ type Runner struct {
 	Metrics *metrics.Registry
 	// DefaultTimeout bounds jobs whose spec sets none (0 = unbounded).
 	DefaultTimeout time.Duration
+
+	// base memoizes the two TLM base processor models (calibrated and
+	// nominal) across jobs. Calibration depends only on the fixed training
+	// workload, so one board-simulation run serves every TLM job and every
+	// DSE sweep point the Runner ever executes.
+	baseMu sync.Mutex
+	base   map[bool]*pum.PUM
+}
+
+// BaseModel returns the memoized TLM base processor model for the spec's
+// calibration setting, computing it on first use.
+func (r *Runner) BaseModel(s *Spec) (*pum.PUM, error) {
+	r.baseMu.Lock()
+	defer r.baseMu.Unlock()
+	if m := r.base[s.Calibrate]; m != nil {
+		return m, nil
+	}
+	m, err := s.BaseModel()
+	if err != nil {
+		return nil, err
+	}
+	if r.base == nil {
+		r.base = make(map[bool]*pum.PUM, 2)
+	}
+	r.base[s.Calibrate] = m
+	return m, nil
 }
 
 // RunOpts carries per-invocation hooks that are not part of the job's
@@ -217,7 +244,11 @@ func (r *Runner) profileEstimate(ctx context.Context, s *Spec, prog *cdfg.Progra
 
 // runTLM is the esetlm flow: build the design, simulate, summarize.
 func (r *Runner) runTLM(ctx context.Context, s *Spec, pl *engine.Pipeline, res *Result) error {
-	d, err := s.BuildDesign()
+	base, err := r.BaseModel(s)
+	if err != nil {
+		return err
+	}
+	d, err := s.BuildDesignFrom(base)
 	if err != nil {
 		return err
 	}

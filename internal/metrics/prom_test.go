@@ -75,3 +75,81 @@ func TestPromName(t *testing.T) {
 		}
 	}
 }
+
+// Regression: label values used to pass through WriteProm unescaped and
+// invalid names unreported, so a hostile tenant name with an embedded
+// quote or newline corrupted the whole /metrics scrape. The golden output
+// pins escaping, label canonicalization, collision handling and
+// invalid-series rejection at once.
+func TestWritePromHostileNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Labeled("tenant.jobs", "tenant", `ac"me`)).Add(3)
+	r.Counter(Labeled("tenant.jobs", "tenant", "evil\nnewline\\slash")).Add(4)
+	// Two distinct raw names canonicalizing onto one series: the
+	// first-sorted raw name wins, the other is dropped (a duplicate
+	// sample would make the scrape unparseable).
+	r.Counter(`tenant.jobs{zone="b",tenant="x"}`).Add(5)
+	r.Counter(`tenant_jobs{tenant="x",zone="b"}`).Add(6)
+	// Invalid series are rejected, not emitted broken.
+	r.Counter("").Inc()                     // sanitizes to nothing
+	r.Counter(`bad{tenant=unquoted}`).Inc() // malformed label block
+	r.Counter(`bad{bad-key="v"}`).Inc()     // label key outside the grammar
+	r.Counter(`bad{t="dangling\`).Inc()     // unterminated escape
+	r.Gauge(Labeled("pool.depth", "pe", "dct0")).Set(2)
+
+	var sb strings.Builder
+	if err := r.Snapshot().WriteProm(&sb); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	got := sb.String()
+	want := `# TYPE tenant_jobs counter
+tenant_jobs{tenant="ac\"me"} 3
+tenant_jobs{tenant="evil\nnewline\\slash"} 4
+tenant_jobs{tenant="x",zone="b"} 5
+# TYPE pool_depth gauge
+pool_depth{pe="dct0"} 2
+`
+	if got != want {
+		t.Fatalf("WriteProm output:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// Two raw names that sanitize onto one family must not emit duplicate
+// TYPE lines (unscrapeable); nor may a histogram claim a family name a
+// counter already owns.
+func TestWritePromCollidingFamilies(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.b").Add(1)
+	r.Counter("a_b").Add(2)
+	r.Histogram("a.b").Observe(1) // family a_b already claimed by the counters
+
+	var sb strings.Builder
+	if err := r.Snapshot().WriteProm(&sb); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	got := sb.String()
+	if strings.Count(got, "# TYPE a_b ") != 1 {
+		t.Fatalf("colliding families emitted multiple TYPE lines:\n%s", got)
+	}
+	if strings.Contains(got, "summary") {
+		t.Fatalf("histogram took over a claimed family name:\n%s", got)
+	}
+	// First-sorted raw name ("a.b" < "a_b") wins within the merged family.
+	if !strings.Contains(got, "a_b 1") || strings.Contains(got, "a_b 2") {
+		t.Fatalf("collision winner wrong:\n%s", got)
+	}
+}
+
+func TestLabeledCanonical(t *testing.T) {
+	a := Labeled("m", "b", "2", "a", "1")
+	b := Labeled("m", "a", "1", "b", "2")
+	if a != b {
+		t.Fatalf("Labeled not canonical: %q vs %q", a, b)
+	}
+	if want := `m{a="1",b="2"}`; a != want {
+		t.Fatalf("Labeled = %q, want %q", a, want)
+	}
+	if got := Labeled("m"); got != "m" {
+		t.Fatalf("Labeled with no pairs = %q", got)
+	}
+}

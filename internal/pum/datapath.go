@@ -1,0 +1,104 @@
+package pum
+
+import (
+	"fmt"
+	"sort"
+)
+
+// WithDatapath returns a structurally varied copy of the model — the
+// design-space-exploration interface over the datapath sub-model. Three
+// knobs, each left alone when zero:
+//
+//   - depth re-times every pipeline to the given stage count. All work
+//     moves to the final stage (demand = commit = depth-1), with every
+//     earlier stage a one-cycle pass-through — the uniform shape of the
+//     library's MicroBlaze model. Ops whose mapping row spreads functional
+//     units over several stages cannot be re-timed and are rejected.
+//   - issue replaces the issue pipelines with `issue` identical
+//     single-issue copies (the DualIssue construction generalized). When
+//     widening an in-order model past one pipeline, the policy switches to
+//     ASAP: strict program order cannot fill more than one issue slot, so
+//     an in-order superscalar point would silently degenerate to the
+//     single-issue design.
+//   - fuQty overrides functional-unit quantities by ID. Every ID must
+//     exist in the datapath and every quantity must be positive.
+//
+// The result is validated; the statistical sub-models (branch, memory) are
+// carried over unchanged, so calibration survives the variation.
+func (p *PUM) WithDatapath(depth, issue int, fuQty map[string]int) (*PUM, error) {
+	q := p.Clone()
+	if depth > 0 && len(q.Pipelines) > 0 && depth != len(q.Pipelines[0].Stages) {
+		names := make([]string, depth)
+		for i := range names {
+			names[i] = fmt.Sprintf("S%d", i)
+		}
+		ex := depth - 1
+		names[ex] = "EX"
+		for i := range q.Pipelines {
+			q.Pipelines[i].Stages = append([]string(nil), names...)
+		}
+		for cls, info := range q.Ops {
+			work := StageUse{Cycles: 1}
+			found := false
+			for _, su := range info.Stages {
+				if su.FU == "" && su.Cycles <= 1 {
+					continue
+				}
+				if found {
+					return nil, fmt.Errorf("pum %s: class %v spreads work over several stages; cannot re-time to depth %d",
+						p.Name, cls, depth)
+				}
+				work, found = su, true
+			}
+			st := make([]StageUse, depth)
+			for i := range st {
+				st[i] = StageUse{Cycles: 1}
+			}
+			st[ex] = work
+			q.Ops[cls] = OpInfo{Stages: st, Demand: ex, Commit: ex}
+		}
+	}
+	if issue > 0 && len(q.Pipelines) > 0 && issue != len(q.Pipelines) {
+		base := q.Pipelines[0]
+		pipes := make([]Pipeline, issue)
+		for i := range pipes {
+			pipes[i] = Pipeline{
+				Name:       fmt.Sprintf("p%d", i),
+				Stages:     append([]string(nil), base.Stages...),
+				IssueWidth: 1,
+			}
+		}
+		q.Pipelines = pipes
+		if issue > 1 && q.Policy == PolicyInOrder {
+			q.Policy = PolicyASAP
+		}
+	}
+	if len(fuQty) > 0 {
+		ids := make([]string, 0, len(fuQty))
+		for id := range fuQty {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			n := fuQty[id]
+			if n < 1 {
+				return nil, fmt.Errorf("pum %s: FU %q quantity override %d must be positive", p.Name, id, n)
+			}
+			found := false
+			for i := range q.FUs {
+				if q.FUs[i].ID == id {
+					q.FUs[i].Quantity = n
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("pum %s: FU override names unknown unit %q", p.Name, id)
+			}
+		}
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}

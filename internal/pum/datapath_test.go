@@ -1,0 +1,78 @@
+package pum
+
+import "testing"
+
+func TestWithDatapathDepth(t *testing.T) {
+	p := MicroBlaze()
+	q, err := p.WithDatapath(5, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(q.Pipelines[0].Stages); got != 5 {
+		t.Fatalf("depth 5 produced %d stages", got)
+	}
+	for cls, info := range q.Ops {
+		if len(info.Stages) != 5 {
+			t.Fatalf("class %v has %d stage entries", cls, len(info.Stages))
+		}
+		if info.Demand != 4 || info.Commit != 4 {
+			t.Fatalf("class %v demand/commit %d/%d, want 4/4", cls, info.Demand, info.Commit)
+		}
+		// The working stage's FU and cycles must survive the re-timing.
+		orig := p.Ops[cls].Stages[2]
+		if info.Stages[4] != orig {
+			t.Fatalf("class %v work stage %+v, want %+v", cls, info.Stages[4], orig)
+		}
+	}
+	if p.DatapathFingerprint() == q.DatapathFingerprint() {
+		t.Fatal("depth change did not move the datapath fingerprint")
+	}
+	// The statistical models ride along unchanged.
+	if p.StatFingerprint() != q.StatFingerprint() {
+		t.Fatal("depth change altered the statistical fingerprint")
+	}
+}
+
+func TestWithDatapathIssueAndFUs(t *testing.T) {
+	p := MicroBlaze()
+	q, err := p.WithDatapath(0, 2, map[string]int{"alu": 2, "mul": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Pipelines) != 2 {
+		t.Fatalf("issue 2 produced %d pipelines", len(q.Pipelines))
+	}
+	if q.Policy != PolicyASAP {
+		t.Fatalf("in-order model widened to issue 2 kept policy %v", q.Policy)
+	}
+	if q.FUQuantity("alu") != 2 || q.FUQuantity("mul") != 2 || q.FUQuantity("div") != 1 {
+		t.Fatalf("FU overrides misapplied: alu=%d mul=%d div=%d",
+			q.FUQuantity("alu"), q.FUQuantity("mul"), q.FUQuantity("div"))
+	}
+	// Zero knobs are identity (no fingerprint movement).
+	id, err := p.WithDatapath(0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.DatapathFingerprint() != p.DatapathFingerprint() {
+		t.Fatal("identity variation moved the datapath fingerprint")
+	}
+}
+
+func TestWithDatapathRejects(t *testing.T) {
+	p := MicroBlaze()
+	if _, err := p.WithDatapath(0, 0, map[string]int{"fpu": 1}); err == nil {
+		t.Fatal("unknown FU override accepted")
+	}
+	if _, err := p.WithDatapath(0, 0, map[string]int{"alu": 0}); err == nil {
+		t.Fatal("zero FU quantity accepted")
+	}
+	// The varied model must still validate (e.g. scheduler sees it whole).
+	q, err := p.WithDatapath(7, 4, map[string]int{"lsu": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,226 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"ese/internal/diag"
+	"ese/internal/dse"
+)
+
+// maxDSEShards bounds the requested shard count — shards are a progress
+// granularity, not a parallelism knob, and an absurd count only bloats
+// the event stream.
+const maxDSEShards = 256
+
+// dseBusy serializes sweeps: one design-space exploration at a time per
+// daemon. A sweep fans out its own worker pool over the shared cache, so
+// two concurrent sweeps would fight each other (and every interactive
+// job) for cores without finishing any faster.
+type dseGate struct{ busy atomic.Bool }
+
+func (g *dseGate) acquire() bool { return g.busy.CompareAndSwap(false, true) }
+func (g *dseGate) release()      { g.busy.Store(false) }
+
+// ErrSweepActive rejects a sweep while another one runs (429).
+var ErrSweepActive = errors.New("a sweep is already running")
+
+// dseDone is the terminal payload of a streamed sweep: mirror of the job
+// stream's "done" event, carrying the full result on success.
+type dseDone struct {
+	State  string      `json:"state"` // ok | canceled | error
+	Error  string      `json:"error,omitempty"`
+	Result *dse.Result `json:"result,omitempty"`
+}
+
+// handleDSE is POST /v1/dse: decode a sweep description, expand and run
+// it through the daemon's shared Runner (and therefore the shared
+// schedule/estimate cache), and respond with the full result — or, when
+// the client asks for text/event-stream (or ?stream=1), stream per-shard
+// progress events over SSE and finish with a "done" event carrying the
+// result. Query parameters: shards (progress granularity, default 1) and
+// workers (parallel points, capped at the daemon's worker bound).
+//
+// Sweeps are admitted outside the job queue — they carry their own
+// parallelism — but at most one runs at a time (429 otherwise), and
+// draining refuses new sweeps with 503. Client disconnect mid-stream
+// cancels the sweep; checkpoint/resume is a CLI concern (the daemon
+// never touches client-named paths).
+func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST a sweep description"), nil)
+		return
+	}
+	if s.Draining() {
+		s.rejected.Inc()
+		writeError(w, http.StatusServiceUnavailable, ErrDraining, nil)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err), nil)
+		return
+	}
+	sweep, err := dse.ParseSweep(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err, nil)
+		return
+	}
+	q := r.URL.Query()
+	shards := 1
+	if v := q.Get("shards"); v != "" {
+		shards, err = strconv.Atoi(v)
+		if err != nil || shards < 1 || shards > maxDSEShards {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("shards must be 1..%d", maxDSEShards), nil)
+			return
+		}
+	}
+	workers := 0
+	if v := q.Get("workers"); v != "" {
+		workers, err = strconv.Atoi(v)
+		if err != nil || workers < 0 {
+			writeError(w, http.StatusBadRequest, errors.New("workers must be non-negative"), nil)
+			return
+		}
+	}
+	if workers <= 0 || workers > s.cfg.Workers {
+		workers = s.cfg.Workers
+	}
+	if !s.dse.acquire() {
+		s.rejected.Inc()
+		writeError(w, http.StatusTooManyRequests, ErrSweepActive, nil)
+		return
+	}
+	defer s.dse.release()
+	s.reg.Counter("server.dse.sweeps").Inc()
+
+	// The sweep dies with the client or with server drain, whichever
+	// comes first.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
+
+	stream := q.Get("stream") == "1" ||
+		strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if !stream {
+		res, err := dse.Run(ctx, sweep, dse.Options{
+			Shards:  shards,
+			Workers: workers,
+			Runner:  &s.runner,
+		})
+		if err != nil {
+			writeError(w, dseStatusCode(err), err, nil)
+			return
+		}
+		s.reg.Counter("server.dse.points").Add(uint64(res.Summary.Points))
+		writeJSON(w, http.StatusOK, res)
+		return
+	}
+
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"), nil)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+
+	// Progress events arrive on runner worker goroutines; the handler
+	// goroutine owns the connection, so they cross a buffered channel.
+	// A full buffer drops events — progress is advisory, the final done
+	// event carries the authoritative result.
+	progress := make(chan dse.Progress, 256)
+	type outcome struct {
+		res *dse.Result
+		err error
+	}
+	resc := make(chan outcome, 1)
+	go func() {
+		res, err := dse.Run(ctx, sweep, dse.Options{
+			Shards:  shards,
+			Workers: workers,
+			Runner:  &s.runner,
+			Progress: func(p dse.Progress) {
+				select {
+				case progress <- p:
+				default:
+				}
+			},
+		})
+		resc <- outcome{res, err}
+	}()
+
+	send := func(event string, v any) bool {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if !s.sseWrite(w, r, event, data) {
+			cancel()
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	for {
+		select {
+		case p := <-progress:
+			if !send("progress", p) {
+				<-resc // let the canceled run unwind before returning
+				return
+			}
+		case out := <-resc:
+			// Flush progress that raced with completion.
+			for {
+				select {
+				case p := <-progress:
+					if !send("progress", p) {
+						return
+					}
+					continue
+				default:
+				}
+				break
+			}
+			done := dseDone{State: "ok", Result: out.res}
+			if out.err != nil {
+				done = dseDone{State: "error", Error: out.err.Error()}
+				if errors.Is(out.err, diag.ErrCanceled) || errors.Is(out.err, context.Canceled) {
+					done.State = "canceled"
+				}
+			} else {
+				s.reg.Counter("server.dse.points").Add(uint64(out.res.Summary.Points))
+			}
+			send("done", done)
+			return
+		case <-ctx.Done():
+			out := <-resc // the run observes the same context; wait it out
+			_ = out
+			return
+		}
+	}
+}
+
+// dseStatusCode maps sweep errors: cancellation to 499, deadline to 504,
+// everything else (a failing point) to 500. Validation failures were
+// already 400 at parse time.
+func dseStatusCode(err error) int {
+	switch {
+	case errors.Is(err, diag.ErrDeadline):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, diag.ErrCanceled), errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}

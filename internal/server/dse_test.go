@@ -1,0 +1,263 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"ese/internal/dse"
+)
+
+// Regression (SSE lifecycle): dropping the /events connection while the
+// leader is inside Simulate must not cancel the job (the POST waiter is
+// still listening), must free the stage-hook subscription promptly, and
+// must leave no goroutine behind. Run under -race in CI.
+func TestEventsClientDisconnectMidSimulate(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	slow := slowTLMSpec()
+	fp := slow.Fingerprint()
+
+	type outcome struct {
+		code int
+		body []byte
+	}
+	resc := make(chan outcome, 1)
+	go func() {
+		code, body, _ := postJobErr(ts, mustBody(t, slow), "")
+		resc <- outcome{code, body}
+	}()
+	waitForState(t, ts, fp, StateRunning)
+	base := runtime.NumGoroutine()
+
+	sctx, scancel := context.WithCancel(context.Background())
+	defer scancel()
+	req, err := http.NewRequestWithContext(sctx, http.MethodGet, ts.URL+"/v1/jobs/"+fp+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sawAnnotate := false
+	for sc.Scan() {
+		if strings.Contains(sc.Text(), `"stage":"annotate"`) {
+			sawAnnotate = true
+			break
+		}
+	}
+	if !sawAnnotate {
+		t.Fatal("event stream ended before the annotate stage")
+	}
+
+	f := s.lookup(fp)
+	if f == nil {
+		t.Fatal("flight gone while its job runs")
+	}
+	subs := func() int {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		return len(f.subs)
+	}
+	if subs() == 0 {
+		t.Fatal("no stage-hook subscription registered for the stream")
+	}
+
+	// Drop the connection mid-Simulate.
+	scancel()
+	resp.Body.Close()
+
+	// The subscription must unwind long before the job finishes.
+	deadline := time.Now().Add(10 * time.Second)
+	for subs() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stage-hook subscription leaked after client disconnect")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// The job still completes for its POST waiter.
+	out := <-resc
+	if out.code != http.StatusOK {
+		t.Fatalf("job after observer disconnect = %d: %s", out.code, out.body)
+	}
+
+	// The worker slot is free (Workers=1: a stuck slot rejects or hangs).
+	code, body := postJob(t, ts, mustBody(t, estimateSpec()), "")
+	if code != http.StatusOK {
+		t.Fatalf("post-disconnect submit = %d: %s", code, body)
+	}
+
+	// No goroutine survived the dropped stream: with the leader gone the
+	// count settles at or below the mid-job baseline.
+	deadline = time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d now vs %d mid-job", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+const testSweepBody = `{"name":"t","frames":1,"axes":{"designs":["SW","SW+1"],"caches":[{"i":0,"d":0},{"i":8192,"d":4096}]}}`
+
+func TestDSEEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 4})
+
+	resp, err := ts.Client().Post(ts.URL+"/v1/dse", "application/json", strings.NewReader(testSweepBody))
+	if err != nil {
+		t.Fatalf("POST /v1/dse: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var res dse.Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("sweep produced %d rows, want 4", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.EndPs == 0 {
+			t.Fatalf("row %d has no timing: %+v", r.Index, r)
+		}
+	}
+	if len(res.Pareto) == 0 {
+		t.Fatal("empty Pareto front")
+	}
+	// The sweep ran against the daemon's shared cache.
+	if cs := srv.Cache().Stats(); cs.SchedHits+cs.EstHits == 0 {
+		t.Fatal("sweep bypassed the shared cache")
+	}
+
+	// Bad inputs are 400s.
+	for _, bad := range []struct{ url, body string }{
+		{"/v1/dse", `{"axes":{"designz":["SW"]}}`},
+		{"/v1/dse", `not json`},
+		{"/v1/dse?shards=0", testSweepBody},
+		{"/v1/dse?shards=9999", testSweepBody},
+		{"/v1/dse?workers=-1", testSweepBody},
+	} {
+		resp, err := ts.Client().Post(ts.URL+bad.url, "application/json", strings.NewReader(bad.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("POST %s with %q = %d, want 400", bad.url, bad.body, resp.StatusCode)
+		}
+	}
+
+	// GET is not allowed.
+	gresp, err := ts.Client().Get(ts.URL + "/v1/dse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gresp.Body.Close()
+	if gresp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/dse = %d, want 405", gresp.StatusCode)
+	}
+}
+
+func TestDSEStreaming(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4})
+	resp, err := ts.Client().Post(ts.URL+"/v1/dse?stream=1&shards=2", "application/json", strings.NewReader(testSweepBody))
+	if err != nil {
+		t.Fatalf("POST stream: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/event-stream") {
+		t.Fatalf("stream content type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var progress []dse.Progress
+	var done dseDone
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if ev, ok := strings.CutPrefix(line, "event: "); ok {
+			event = ev
+			continue
+		}
+		data, ok := strings.CutPrefix(line, "data: ")
+		if !ok {
+			continue
+		}
+		switch event {
+		case "progress":
+			var p dse.Progress
+			if err := json.Unmarshal([]byte(data), &p); err != nil {
+				t.Fatalf("progress decode: %v", err)
+			}
+			progress = append(progress, p)
+		case "done":
+			if err := json.Unmarshal([]byte(data), &done); err != nil {
+				t.Fatalf("done decode: %v", err)
+			}
+		}
+	}
+	if done.State != "ok" || done.Result == nil {
+		t.Fatalf("done = %+v", done)
+	}
+	if len(done.Result.Rows) != 4 {
+		t.Fatalf("streamed result has %d rows", len(done.Result.Rows))
+	}
+	if len(progress) == 0 {
+		t.Fatal("no progress events streamed")
+	}
+	shards := map[int]bool{}
+	for _, p := range progress {
+		if p.Total != 4 || p.Shard < 0 || p.Shard > 1 {
+			t.Fatalf("bad progress event %+v", p)
+		}
+		shards[p.Shard] = true
+	}
+	if len(shards) != 2 {
+		t.Fatalf("progress covered shards %v, want both", shards)
+	}
+}
+
+func TestDSEAdmission(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+
+	// One sweep at a time: with the gate held, submissions bounce 429.
+	if !s.dse.acquire() {
+		t.Fatal("gate busy on a fresh server")
+	}
+	resp, err := ts.Client().Post(ts.URL+"/v1/dse", "application/json", strings.NewReader(testSweepBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("busy sweep = %d, want 429: %s", resp.StatusCode, body)
+	}
+	s.dse.release()
+
+	// Draining refuses sweeps with 503.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = ts.Client().Post(ts.URL+"/v1/dse", "application/json", strings.NewReader(testSweepBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining sweep = %d, want 503", resp.StatusCode)
+	}
+}

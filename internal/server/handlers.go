@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strings"
+	"time"
 
 	"ese/internal/cli"
 	"ese/internal/diag"
@@ -30,6 +31,8 @@ const StatusClientClosedRequest = 499
 //	GET    /v1/jobs/{fp}         status of an in-flight job
 //	DELETE /v1/jobs/{fp}         cancel an in-flight job
 //	GET    /v1/jobs/{fp}/events  SSE stream of stage-completion events
+//	POST   /v1/dse               run a design-space sweep (?stream=1 or an
+//	                             SSE Accept header streams shard progress)
 //	GET    /healthz              liveness (503 while draining)
 //	GET    /metrics              metric snapshot (JSON; ?format=prom for
 //	                             Prometheus text exposition)
@@ -38,6 +41,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/jobs", s.handleJobs)
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
+	mux.HandleFunc("/v1/dse", s.handleDSE)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -195,7 +199,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, fp string)
 		if err != nil {
 			return false
 		}
-		if _, err := fmt.Fprintf(w, "event: stage\ndata: %s\n\n", data); err != nil {
+		if !s.sseWrite(w, r, "stage", data) {
 			return false
 		}
 		fl.Flush()
@@ -237,13 +241,34 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, fp string)
 			default:
 				state = "error"
 			}
-			fmt.Fprintf(w, "event: done\ndata: {\"state\":%q}\n\n", state)
+			s.sseWrite(w, r, "done", []byte(fmt.Sprintf("{\"state\":%q}", state)))
 			fl.Flush()
 			return
 		case <-r.Context().Done():
 			return
 		}
 	}
+}
+
+// sseWriteTimeout bounds one SSE write. A client that stops reading
+// without closing (half-open connection, stalled proxy) fills the socket
+// buffer and would otherwise block the handler goroutine inside Fprintf
+// for as long as the job runs — a goroutine and subscription leak the
+// request context never unwinds, because nothing cancels it. The
+// deadline turns the stall into a write error; the handler returns and
+// its deferred unsubscribe runs.
+const sseWriteTimeout = 15 * time.Second
+
+// sseWrite emits one SSE event under a write deadline. It reports false
+// when the client is gone or stalled; the caller must stop streaming.
+func (s *Server) sseWrite(w http.ResponseWriter, r *http.Request, event string, data []byte) bool {
+	rc := http.NewResponseController(w)
+	// Deadline errors are deliberately ignored: a ResponseWriter that
+	// does not support deadlines (custom middleware) still streams, it
+	// just keeps the legacy unbounded-write behavior.
+	_ = rc.SetWriteDeadline(time.Now().Add(sseWriteTimeout))
+	_, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	return err == nil
 }
 
 // handleHealthz is GET /healthz: 200 while serving, 503 while draining.

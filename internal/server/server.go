@@ -84,6 +84,9 @@ type Server struct {
 	tenants  map[string]int
 	draining bool
 
+	// dse serializes design-space sweeps (one per daemon; see dse.go).
+	dse dseGate
+
 	executed  *metrics.Counter // leader runs started
 	coalesced *metrics.Counter // requests that joined an existing flight
 	rejected  *metrics.Counter // admissions refused (queue/tenant/drain)
