@@ -16,6 +16,9 @@
 //	-Werror                     with -verify, treat warnings as errors
 //	-graph                      print the process/channel structure (Fig. 6)
 //	-gen                        emit the standalone Go TLM source and exit
+//	-json                       print the canonical {cycles_by_pe,
+//	                            out_by_pe, steps} JSON summary (matches a
+//	                            standalone esegen binary byte for byte)
 //	-vcd FILE                   write a VCD activity waveform (timed engine)
 //	-trace-json FILE            write a Chrome trace_event timeline
 //	                            (Perfetto-loadable; timed engine)
@@ -35,6 +38,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -54,6 +58,7 @@ import (
 // shared job spec.
 type outputs struct {
 	graph, gen  bool
+	jsonOut     bool
 	vcdPath     string
 	traceJSON   string
 	profile     bool
@@ -70,6 +75,7 @@ func main() {
 	spec.BindRun(flag.CommandLine)
 	flag.BoolVar(&o.graph, "graph", false, "print the process graph and exit")
 	flag.BoolVar(&o.gen, "gen", false, "emit the standalone TLM source and exit")
+	flag.BoolVar(&o.jsonOut, "json", false, "print the canonical {cycles_by_pe, out_by_pe, steps} JSON summary instead of text")
 	flag.StringVar(&o.vcdPath, "vcd", "", "write a VCD activity waveform to this file (timed engine)")
 	flag.StringVar(&o.traceJSON, "trace-json", "", "write a Chrome trace_event timeline to this file (timed engine)")
 	flag.BoolVar(&o.profile, "profile", false, "print the cycle-attribution report (timed engine)")
@@ -123,6 +129,9 @@ func run(spec *jobspec.Spec, o outputs) error {
 		if err != nil {
 			return err
 		}
+		if o.jsonOut {
+			return printJSON(res)
+		}
 		printTLM(res, d)
 	case jobspec.EngineTimed:
 		pl := ese.NewPipeline(opts)
@@ -164,14 +173,23 @@ func run(spec *jobspec.Spec, o outputs) error {
 			}
 			fmt.Printf("wrote trace timeline to %s (%d events)\n", o.traceJSON, ev.Len())
 		}
-		fmt.Printf("annotation time: %v\n", res.AnnoTime.Round(time.Microsecond))
-		printTLM(res, d)
+		if o.jsonOut {
+			if err := printJSON(res); err != nil {
+				return err
+			}
+		} else {
+			fmt.Printf("annotation time: %v\n", res.AnnoTime.Round(time.Microsecond))
+			printTLM(res, d)
+		}
 		if doProfile {
 			if err := writeProfile(pl, d, res, o); err != nil {
 				return err
 			}
 		}
 	case jobspec.EngineBoard:
+		if o.jsonOut {
+			return cli.Input(fmt.Errorf("-json is only supported with the functional and timed engines"))
+		}
 		res, err := ese.RunBoard(d)
 		if err != nil {
 			return err
@@ -226,6 +244,30 @@ func writeProfile(pl *ese.Pipeline, d *ese.Design, res *ese.TLMResult, o outputs
 	if o.profile {
 		fmt.Print(rep.Text(o.top))
 	}
+	return nil
+}
+
+// printJSON emits the canonical {cycles_by_pe, out_by_pe, steps} summary —
+// the same object (byte for byte) a standalone esegen-emitted TLM binary
+// prints for an identical spec, which is what the CI codegen job diffs.
+func printJSON(res *ese.TLMResult) error {
+	outByPE := make(map[string][]int32, len(res.OutByPE))
+	for key, outs := range res.OutByPE {
+		if outs == nil {
+			outs = []int32{}
+		}
+		outByPE[key] = outs
+	}
+	sum := struct {
+		CyclesByPE map[string]uint64  `json:"cycles_by_pe"`
+		OutByPE    map[string][]int32 `json:"out_by_pe"`
+		Steps      uint64             `json:"steps"`
+	}{res.CyclesByPE, outByPE, res.Steps}
+	data, err := json.Marshal(&sum)
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
 	return nil
 }
 

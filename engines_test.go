@@ -1,6 +1,7 @@
-// Differential tests of the two execution engines over the full example
-// designs: the compiled flat-instruction engine must be observationally
-// identical to the tree-walking reference on every MP3 design variant.
+// Differential tests of the execution engines over the full example
+// designs: the compiled flat-instruction engine and the ahead-of-time
+// generated engine must be observationally identical to the tree-walking
+// reference on every MP3 design variant.
 package ese
 
 import (
@@ -17,9 +18,11 @@ import (
 
 var diffEval = apps.MP3Config{Frames: 1, Seed: 0xC0FFEE}
 
-// TestCompiledEngineCoversMP3 asserts the compiler accepts every example
-// program — EngineAuto must never silently fall back on them.
-func TestCompiledEngineCoversMP3(t *testing.T) {
+// TestEngineTiersCoverMP3 asserts the faster tiers accept every example
+// program: the compiled engine must compile it, a pre-generated engine
+// must be registered for it, and EngineAuto must resolve to the
+// generated tier (never silently fall back).
+func TestEngineTiersCoverMP3(t *testing.T) {
 	for _, name := range apps.MP3DesignNames {
 		prog, err := apps.CompileMP3(name, diffEval)
 		if err != nil {
@@ -28,19 +31,22 @@ func TestCompiledEngineCoversMP3(t *testing.T) {
 		if _, err := interp.Compile(prog); err != nil {
 			t.Fatalf("%s: compiled engine rejected the program: %v", name, err)
 		}
+		if interp.GeneratedFor(prog) == nil {
+			t.Fatalf("%s: no generated engine registered", name)
+		}
 		e, err := interp.NewEngine(prog, interp.EngineAuto)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if e.Kind() != interp.EngineCompiled {
-			t.Fatalf("%s: EngineAuto fell back to %v", name, e.Kind())
+		if e.Kind() != interp.EngineGen {
+			t.Fatalf("%s: EngineAuto picked %v, want gen", name, e.Kind())
 		}
 	}
 }
 
-// TestEngineDifferentialMP3Designs runs every MP3 design's timed TLM under
-// both engines and requires identical Out streams, Steps, CyclesByPE,
-// simulated end time and per-block counts.
+// TestEngineDifferentialMP3Designs runs every MP3 design's timed TLM
+// under all three engines and requires identical Out streams, Steps,
+// CyclesByPE, simulated end time and per-block counts.
 func TestEngineDifferentialMP3Designs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-design differential is slow")
@@ -67,25 +73,27 @@ func TestEngineDifferentialMP3Designs(t *testing.T) {
 				return res
 			}
 			rt := run(interp.EngineTree)
-			rc := run(interp.EngineCompiled)
-			if !maps.EqualFunc(rt.OutByPE, rc.OutByPE, slices.Equal[[]int32]) {
-				t.Fatalf("OutByPE diverges")
-			}
-			if rt.Steps != rc.Steps {
-				t.Fatalf("Steps diverge: tree %d, compiled %d", rt.Steps, rc.Steps)
-			}
-			if !maps.Equal(rt.CyclesByPE, rc.CyclesByPE) {
-				t.Fatalf("CyclesByPE diverge:\n  tree:     %v\n  compiled: %v", rt.CyclesByPE, rc.CyclesByPE)
-			}
-			if rt.EndPs != rc.EndPs {
-				t.Fatalf("EndPs diverges: tree %d, compiled %d", rt.EndPs, rc.EndPs)
-			}
-			if rt.BusWords != rc.BusWords {
-				t.Fatalf("BusWords diverge: tree %d, compiled %d", rt.BusWords, rc.BusWords)
-			}
-			for key, am := range rt.BlockCountsByPE {
-				if !maps.Equal(am, rc.BlockCountsByPE[key]) {
-					t.Fatalf("BlockCountsByPE[%s] diverges", key)
+			for _, kind := range []interp.EngineKind{interp.EngineCompiled, interp.EngineGen} {
+				rc := run(kind)
+				if !maps.EqualFunc(rt.OutByPE, rc.OutByPE, slices.Equal[[]int32]) {
+					t.Fatalf("%v: OutByPE diverges", kind)
+				}
+				if rt.Steps != rc.Steps {
+					t.Fatalf("%v: Steps diverge: tree %d, %v %d", kind, rt.Steps, kind, rc.Steps)
+				}
+				if !maps.Equal(rt.CyclesByPE, rc.CyclesByPE) {
+					t.Fatalf("%v: CyclesByPE diverge:\n  tree: %v\n  %v:  %v", kind, rt.CyclesByPE, kind, rc.CyclesByPE)
+				}
+				if rt.EndPs != rc.EndPs {
+					t.Fatalf("%v: EndPs diverges: tree %d, %v %d", kind, rt.EndPs, kind, rc.EndPs)
+				}
+				if rt.BusWords != rc.BusWords {
+					t.Fatalf("%v: BusWords diverge: tree %d, %v %d", kind, rt.BusWords, kind, rc.BusWords)
+				}
+				for key, am := range rt.BlockCountsByPE {
+					if !maps.Equal(am, rc.BlockCountsByPE[key]) {
+						t.Fatalf("%v: BlockCountsByPE[%s] diverges", kind, key)
+					}
 				}
 			}
 		})

@@ -45,6 +45,7 @@ import (
 	"ese/internal/annotate"
 	"ese/internal/apps"
 	"ese/internal/cdfg"
+	"ese/internal/codegen"
 	"ese/internal/core"
 	"ese/internal/diag"
 	"ese/internal/engine"
@@ -88,6 +89,20 @@ type (
 const (
 	Processor = platform.Processor
 	HWUnit    = platform.HWUnit
+)
+
+// EngineKind selects the IR execution tier (PipelineOptions.Engine).
+type EngineKind = interp.EngineKind
+
+// Execution-engine tiers, fastest first: the pre-generated ahead-of-time
+// tier, the flat compiled interpreter, and the tree-walking reference.
+// EngineAuto (the zero value) picks the fastest tier that covers the
+// program.
+const (
+	EngineAuto     = interp.EngineAuto
+	EngineGen      = interp.EngineGen
+	EngineCompiled = interp.EngineCompiled
+	EngineTree     = interp.EngineTree
 )
 
 // Timed RTOS model (the paper's future-work extension): several tasks
@@ -247,7 +262,20 @@ func RunTimedTLM(d *Design) (*TLMResult, error) { return defaultPipeline.RunTime
 func RunBoard(d *Design) (*BoardResult, error) { return rtl.RunBoard(d, 0) }
 
 // GenerateTLM emits the standalone Go source of the design's timed TLM.
+// The emitted model embeds the CDFG interpreter; see GenerateTLMPackage
+// for the faster transpiled form.
 func GenerateTLM(d *Design) (string, error) { return tlm.GenerateSource(d, core.FullDetail) }
+
+// GenerateTLMPackage transpiles the design's annotated CDFG to a
+// standalone, `go build`-able timed-TLM Go package — the ahead-of-time
+// codegen path behind `esegen`. Each PE's program becomes native Go
+// control flow with its per-block delays baked in as exact constants.
+// The returned map holds the package files ("main.go", "go.mod"); the
+// built binary prints the same canonical {cycles_by_pe, out_by_pe,
+// steps} JSON summary that `esetlm -json` prints for the spec.
+func GenerateTLMPackage(d *Design, module string) (map[string][]byte, error) {
+	return codegen.StandaloneFiles(d, core.FullDetail, module)
+}
 
 // RunInterp executes a single process functionally (reference semantics)
 // and returns its out() stream.

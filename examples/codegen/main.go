@@ -1,11 +1,15 @@
-// codegen writes the automatically generated, self-contained timed TLM of
-// the MP3 SW+1 design to ./generated_tlm/ as a runnable Go module — the
-// paper's "automatic TLM generation" made concrete. Run it, then:
+// codegen drives the ahead-of-time CDFG→Go path end to end on the MP3
+// SW+1 design: it transpiles the annotated CDFG to a standalone,
+// `go build`-able timed-TLM package under ./generated_tlm/, then runs the
+// in-process simulation twice — once on the tree-walking reference and
+// once on the pre-generated `gen` engine — and checks the two tiers agree
+// exactly on every observable. Afterwards:
 //
 //	cd generated_tlm && go run .
 //
-// and compare the printed per-PE cycles with the in-process simulation
-// this program also performs.
+// prints the same canonical {cycles_by_pe, out_by_pe, steps} JSON that
+// `esetlm -design SW+1 -frames 1 -calibrate=false -json` prints — byte
+// for byte (CI asserts this).
 package main
 
 import (
@@ -19,16 +23,16 @@ import (
 
 func main() {
 	cfg := ese.MP3Config{Frames: 1, Seed: 0xC0FFEE}
-	mb, err := ese.MicroBlazePUM().WithCache(ese.CacheCfg{ISize: 8192, DSize: 4096})
-	if err != nil {
-		log.Fatal(err)
-	}
-	d, err := ese.MP3Design("SW+1", cfg, mb, ese.CacheCfg{ISize: 8192, DSize: 4096})
+	cc := ese.CacheCfg{ISize: 8192, DSize: 4096}
+	mb := ese.MicroBlazePUM()
+	d, err := ese.MP3Design("SW+1", cfg, mb, cc)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	src, err := ese.GenerateTLM(d)
+	// 1. Transpile: one Go function per CDFG function, per-block delays
+	// baked in as exact constants, plus a miniature event kernel and bus.
+	files, err := ese.GenerateTLMPackage(d, "generatedtlm")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,23 +40,40 @@ func main() {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		log.Fatal(err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(src), 0o644); err != nil {
-		log.Fatal(err)
+	for name, data := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", filepath.Join(dir, name), len(data))
 	}
-	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module generatedtlm\n\ngo 1.22\n"), 0o644); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("wrote %s/main.go (%d bytes) — run it with: cd %s && go run .\n",
-		dir, len(src), dir)
+	fmt.Printf("run the transpiled model with: cd %s && go run .\n\n", dir)
 
-	// Reference: the in-process timed TLM of the same design.
-	res, err := ese.RunTimedTLM(d)
-	if err != nil {
-		log.Fatal(err)
+	// 2. The same design in process, on two tiers: the tree-walking
+	// reference and the pre-generated `gen` engine the transpiler also
+	// feeds (linked in via the registry, found by code fingerprint).
+	run := func(kind ese.EngineKind) *ese.TLMResult {
+		pl := ese.NewPipeline(ese.PipelineOptions{Engine: kind})
+		res, err := pl.RunTimed(d)
+		if err != nil {
+			log.Fatalf("engine %v: %v", kind, err)
+		}
+		return res
 	}
-	fmt.Println("\nexpected output of the generated model:")
+	ref := run(ese.EngineTree)
+	gen := run(ese.EngineGen)
 	for _, pe := range d.PEs {
-		fmt.Printf("  pe %s cycles %d\n", pe.Name, res.CyclesByPE[pe.Name])
+		if ref.CyclesByPE[pe.Name] != gen.CyclesByPE[pe.Name] {
+			log.Fatalf("pe %s: tree %d cycles, gen %d cycles — tiers diverge",
+				pe.Name, ref.CyclesByPE[pe.Name], gen.CyclesByPE[pe.Name])
+		}
 	}
-	fmt.Printf("  end_ps %d\n", res.EndPs)
+	if ref.Steps != gen.Steps || ref.EndPs != gen.EndPs {
+		log.Fatalf("tiers diverge: tree %d steps end %d, gen %d steps end %d",
+			ref.Steps, ref.EndPs, gen.Steps, gen.EndPs)
+	}
+	fmt.Println("in-process timed TLM, tree vs gen engines: identical")
+	for _, pe := range d.PEs {
+		fmt.Printf("  pe %-8s %12d cycles\n", pe.Name, gen.CyclesByPE[pe.Name])
+	}
+	fmt.Printf("  steps %d, end_ps %d\n", gen.Steps, gen.EndPs)
 }

@@ -8,6 +8,11 @@ import (
 	"ese/internal/cfront"
 	"ese/internal/platform"
 	"ese/internal/pum"
+
+	// Link the pre-generated ahead-of-time engines for the example apps:
+	// any front end that can build these designs can also run them with
+	// -exec=gen (interp.NewEngine finds them by code fingerprint).
+	_ "ese/internal/codegen/registry"
 )
 
 // Compile parses, checks and lowers a C-subset source string.

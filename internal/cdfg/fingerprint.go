@@ -17,6 +17,73 @@ type Fingerprint [sha256.Size]byte
 // String returns a short hex form for logs and debugging.
 func (f Fingerprint) String() string { return hex.EncodeToString(f[:8]) }
 
+// CodeFingerprint returns the structural hash of the program's code: the
+// global declarations (name and array-ness only — sizes and initializers
+// are workload data, not code), and every function in full (signature,
+// storage layout, and each block's Fingerprint). Two programs with equal
+// CodeFingerprints execute the same instruction sequences against global
+// state whose shape is resolved at run time, which is what lets an
+// ahead-of-time generated engine built for one workload configuration
+// serve every other configuration of the same source template (the
+// bitstream contents and NGRANULES-style knobs differ only in Global
+// Size/Init, which the generated code reads from the live Program).
+func (p *Program) CodeFingerprint() Fingerprint {
+	h := sha256.New()
+	var buf [8]byte
+	wInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	wBool := func(b bool) {
+		if b {
+			wInt(1)
+		} else {
+			wInt(0)
+		}
+	}
+	wStr := func(s string) {
+		wInt(int64(len(s)))
+		h.Write([]byte(s))
+	}
+	wInt(int64(len(p.Globals)))
+	for _, g := range p.Globals {
+		wStr(g.Name)
+		wBool(g.IsArray)
+	}
+	wInt(int64(len(p.Funcs)))
+	for _, fn := range p.Funcs {
+		wStr(fn.Name)
+		wBool(fn.ReturnsInt)
+		wInt(int64(fn.NTemps))
+		wInt(int64(len(fn.Params)))
+		wInt(int64(len(fn.Slots)))
+		for _, s := range fn.Slots {
+			wStr(s.Name)
+			wBool(s.IsArray)
+			wInt(int64(s.Size))
+			wBool(s.IsParam)
+			wInt(int64(s.ParamIx))
+			wInt(int64(len(s.Init)))
+			for _, v := range s.Init {
+				wInt(int64(v))
+			}
+		}
+		wInt(int64(len(fn.Blocks)))
+		for _, b := range fn.Blocks {
+			wInt(int64(b.ID))
+			bf := b.Fingerprint()
+			h.Write(bf[:])
+		}
+	}
+	var f Fingerprint
+	h.Sum(f[:0])
+	return f
+}
+
+// Hex returns the full hex form, the stable registry key of generated
+// engines.
+func (f Fingerprint) Hex() string { return hex.EncodeToString(f[:]) }
+
 // Fingerprint returns the structural hash of the block: every
 // instruction's opcode, operands, control-flow targets (by block ID),
 // callee signature (name plus parameter array-ness, which the operand

@@ -1,0 +1,18 @@
+// Package registry holds the pre-generated ahead-of-time engines behind
+// `-exec=gen`: one Go file per covered program (the six example designs
+// plus the codegen self-test corpus), each registering its engine
+// factory under the program's code fingerprint via interp.RegisterGen at
+// init time. Importing this package (internal/apps does, blank) is all it
+// takes for interp.NewEngine to find the generated tier.
+//
+// Every gen_*.go file is emitted by `esegen -registry` and is
+// byte-deterministic for a given program; CI regenerates the directory
+// and fails on any diff. This file is the only hand-written one.
+//
+// The registry keys on Program.CodeFingerprint, which excludes global
+// sizes and initializers: workload knobs (frame counts, generated
+// bitstream data) land only in global initializers, so one generated
+// engine serves every workload configuration of the same source
+// template — the generated code re-reads global shape from the live
+// Program on construction and Reset.
+package registry

@@ -485,6 +485,9 @@ func (pl *Pipeline) SimulateCtx(ctx context.Context, d *platform.Design, opts tl
 	if opts.Engine == interp.EngineAuto {
 		opts.Engine = pl.opts.Engine
 	}
+	if opts.Diags == nil {
+		opts.Diags = &pl.diags
+	}
 	var res *tlm.Result
 	start := time.Now()
 	err := diag.Guard(diag.StageSimulate, func() (err error) {

@@ -12,6 +12,7 @@ import (
 	"ese/internal/cli"
 	"ese/internal/core"
 	"ese/internal/interp"
+	"ese/internal/platform"
 	"ese/internal/pum"
 	"ese/internal/tlm"
 )
@@ -19,16 +20,17 @@ import (
 // PerfBench is the machine-readable performance trajectory of the execution
 // engines: per design, the deterministic simulation outputs (cycles, end
 // time) plus the measured wall-clock and allocation cost of one timed TLM
-// run under the tree-walking and compiled engines. Engines alternate within
-// one process and the minimum over the repetitions is recorded, so the two
-// sides see the same machine conditions.
+// run under the tree-walking, compiled and ahead-of-time generated engines.
+// Engines alternate within one process and the minimum over the repetitions
+// is recorded, so all sides see the same machine conditions.
 //
 // The committed baseline (BENCH_tlm.json) is compared against a fresh
 // measurement by Compare: simulated cycles must match exactly (the
-// simulation is deterministic), and the compiled/tree speedup — a
-// machine-independent ratio — must not regress beyond the tolerance. Raw
-// nanosecond fields are recorded for trend inspection only; they are never
-// compared across machines.
+// simulation is deterministic), and the speedups — machine-independent
+// ratios — must not regress beyond the tolerance. Raw nanosecond fields
+// are recorded for trend inspection only; they are never compared across
+// machines. Baselines recorded before the generated tier existed simply
+// lack the gen fields; those comparisons are skipped, not rejected.
 type PerfBench struct {
 	Frames int            `json:"frames"`
 	Reps   int            `json:"reps"`
@@ -42,30 +44,75 @@ type PerfBenchRow struct {
 	EndPs          uint64  `json:"end_ps"`     // simulated end time (deterministic)
 	TreeNs         int64   `json:"tree_ns"`    // min wall-clock of one run
 	CompiledNs     int64   `json:"compiled_ns"`
-	TreeAllocs     uint64  `json:"tree_allocs"` // min allocations of one run
+	GenNs          int64   `json:"gen_ns,omitempty"` // ahead-of-time generated engine
+	TreeAllocs     uint64  `json:"tree_allocs"`      // min allocations of one run
 	CompiledAllocs uint64  `json:"compiled_allocs"`
-	Speedup        float64 `json:"speedup"`     // TreeNs / CompiledNs
-	AllocRatio     float64 `json:"alloc_ratio"` // TreeAllocs / max(CompiledAllocs,1)
+	GenAllocs      uint64  `json:"gen_allocs,omitempty"`
+	Speedup        float64 `json:"speedup"`                       // TreeNs / CompiledNs
+	SpeedupVsComp  float64 `json:"speedup_vs_compiled,omitempty"` // CompiledNs / GenNs
+	AllocRatio     float64 `json:"alloc_ratio"`                   // TreeAllocs / max(CompiledAllocs,1)
 }
 
 // perfBenchCacheCfg matches the Table 1 evaluation configuration.
 var perfBenchCacheCfg = pum.CacheCfg{ISize: 8 * 1024, DSize: 4 * 1024}
 
-// RunPerfBench measures every MP3 design's timed TLM under both engines.
-// Delays are annotated once per design outside the timed region, so the
-// measurement isolates simulation (the quantity the engine choice affects).
-func RunPerfBench(s *Setup, reps int) (*PerfBench, error) {
-	if reps < 1 {
-		reps = 1
-	}
-	out := &PerfBench{Frames: s.Eval.Frames, Reps: reps}
+// perfBenchJPEGDesigns are the JPEG rows appended after the MP3 designs;
+// their row names carry the "jpeg-" prefix to stay distinct.
+var perfBenchJPEGDesigns = []string{"SW", "SW+DCT"}
+
+// perfBenchDesigns builds the benchmarked design list: the four MP3
+// mappings followed by the two JPEG mappings, with the JPEG workload
+// scaled by the same frames knob.
+func perfBenchDesigns(s *Setup) ([]*platform.Design, error) {
+	var out []*platform.Design
 	for _, design := range apps.MP3DesignNames {
 		d, err := apps.MP3Design(design, s.Eval, s.MB, perfBenchCacheCfg)
 		if err != nil {
 			return nil, err
 		}
+		d.Name = design // row key: plain design name, cache cfg is fixed
+		out = append(out, d)
+	}
+	jpeg := apps.JPEGConfig{Blocks: 8 * s.Eval.Frames, Seed: apps.DefaultJPEG.Seed}
+	for _, design := range perfBenchJPEGDesigns {
+		d, err := apps.JPEGDesign(design, jpeg, s.MB, perfBenchCacheCfg)
+		if err != nil {
+			return nil, err
+		}
+		d.Name = "jpeg-" + design
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// perfBenchKnownDesigns is the row-name whitelist LoadBaseline accepts.
+func perfBenchKnownDesigns() map[string]bool {
+	known := make(map[string]bool)
+	for _, d := range apps.MP3DesignNames {
+		known[d] = true
+	}
+	for _, d := range perfBenchJPEGDesigns {
+		known["jpeg-"+d] = true
+	}
+	return known
+}
+
+// RunPerfBench measures every benchmark design's timed TLM under the
+// three engines. Delays are annotated once per design outside the timed
+// region, so the measurement isolates simulation (the quantity the engine
+// choice affects).
+func RunPerfBench(s *Setup, reps int) (*PerfBench, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	out := &PerfBench{Frames: s.Eval.Frames, Reps: reps}
+	designs, err := perfBenchDesigns(s)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range designs {
 		dm, _ := s.Pipe.Delays(d, core.FullDetail)
-		row := PerfBenchRow{Design: design}
+		row := PerfBenchRow{Design: d.Name}
 		runOnce := func(kind interp.EngineKind) (time.Duration, uint64, *tlm.Result, error) {
 			opts := tlm.Options{
 				Timed:    true,
@@ -75,7 +122,7 @@ func RunPerfBench(s *Setup, reps int) (*PerfBench, error) {
 				Engine:   kind,
 			}
 			// Collect before timing so one engine's garbage is never paid
-			// for during the other engine's timed region.
+			// for during another engine's timed region.
 			runtime.GC()
 			var before, after runtime.MemStats
 			runtime.ReadMemStats(&before)
@@ -85,50 +132,56 @@ func RunPerfBench(s *Setup, reps int) (*PerfBench, error) {
 			runtime.ReadMemStats(&after)
 			return wall, after.Mallocs - before.Mallocs, res, err
 		}
+		type sample struct {
+			ns     *int64
+			allocs *uint64
+			kind   interp.EngineKind
+		}
+		samples := []sample{
+			{&row.TreeNs, &row.TreeAllocs, interp.EngineTree},
+			{&row.CompiledNs, &row.CompiledAllocs, interp.EngineCompiled},
+			{&row.GenNs, &row.GenAllocs, interp.EngineGen},
+		}
 		for rep := 0; rep < reps; rep++ {
-			// Alternate engines within each repetition so both sides sample
+			// Alternate engines within each repetition so every side samples
 			// the same machine conditions.
-			tw, ta, tres, err := runOnce(interp.EngineTree)
-			if err != nil {
-				return nil, fmt.Errorf("perfbench %s (tree): %w", design, err)
-			}
-			cw, ca, cres, err := runOnce(interp.EngineCompiled)
-			if err != nil {
-				return nil, fmt.Errorf("perfbench %s (compiled): %w", design, err)
-			}
-			var cycles uint64
-			for _, c := range cres.CyclesByPE {
-				cycles += c
-			}
-			var tcycles uint64
-			for _, c := range tres.CyclesByPE {
-				tcycles += c
-			}
-			if tcycles != cycles || tres.EndPs != cres.EndPs {
-				return nil, fmt.Errorf("perfbench %s: engines diverge (tree %d cycles end %d, compiled %d cycles end %d)",
-					design, tcycles, tres.EndPs, cycles, cres.EndPs)
+			var refCycles uint64
+			var refEnd uint64
+			for i, sm := range samples {
+				wall, allocs, res, err := runOnce(sm.kind)
+				if err != nil {
+					return nil, fmt.Errorf("perfbench %s (%v): %w", d.Name, sm.kind, err)
+				}
+				var cycles uint64
+				for _, c := range res.CyclesByPE {
+					cycles += c
+				}
+				if i == 0 {
+					refCycles, refEnd = cycles, uint64(res.EndPs)
+				} else if cycles != refCycles || uint64(res.EndPs) != refEnd {
+					return nil, fmt.Errorf("perfbench %s: engines diverge (tree %d cycles end %d, %v %d cycles end %d)",
+						d.Name, refCycles, refEnd, sm.kind, cycles, res.EndPs)
+				}
+				if rep == 0 {
+					*sm.ns, *sm.allocs = wall.Nanoseconds(), allocs
+					continue
+				}
+				if n := wall.Nanoseconds(); n < *sm.ns {
+					*sm.ns = n
+				}
+				if allocs < *sm.allocs {
+					*sm.allocs = allocs
+				}
 			}
 			if rep == 0 {
-				row.SimCycles, row.EndPs = cycles, uint64(cres.EndPs)
-				row.TreeNs, row.CompiledNs = tw.Nanoseconds(), cw.Nanoseconds()
-				row.TreeAllocs, row.CompiledAllocs = ta, ca
-				continue
-			}
-			if n := tw.Nanoseconds(); n < row.TreeNs {
-				row.TreeNs = n
-			}
-			if n := cw.Nanoseconds(); n < row.CompiledNs {
-				row.CompiledNs = n
-			}
-			if ta < row.TreeAllocs {
-				row.TreeAllocs = ta
-			}
-			if ca < row.CompiledAllocs {
-				row.CompiledAllocs = ca
+				row.SimCycles, row.EndPs = refCycles, refEnd
 			}
 		}
 		if row.CompiledNs > 0 {
 			row.Speedup = float64(row.TreeNs) / float64(row.CompiledNs)
+		}
+		if row.GenNs > 0 {
+			row.SpeedupVsComp = float64(row.CompiledNs) / float64(row.GenNs)
 		}
 		ca := row.CompiledAllocs
 		if ca == 0 {
@@ -146,7 +199,8 @@ func RunPerfBench(s *Setup, reps int) (*PerfBench, error) {
 // build does not know (a baseline from a different design set) — is an
 // input error (exit 2 / HTTP 400), not a runtime failure: the
 // measurement itself never ran, so exit 1 would misreport a benchmark
-// regression.
+// regression. A baseline recorded before the generated tier (no gen
+// fields) or before the JPEG rows is still valid.
 func LoadBaseline(path string) (*PerfBench, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -159,10 +213,7 @@ func LoadBaseline(path string) (*PerfBench, error) {
 	if len(b.Rows) == 0 {
 		return nil, cli.Input(fmt.Errorf("bench baseline %s: no measurement rows", path))
 	}
-	known := make(map[string]bool, len(apps.MP3DesignNames))
-	for _, d := range apps.MP3DesignNames {
-		known[d] = true
-	}
+	known := perfBenchKnownDesigns()
 	seen := make(map[string]bool, len(b.Rows))
 	for _, r := range b.Rows {
 		if !known[r.Design] {
@@ -173,7 +224,7 @@ func LoadBaseline(path string) (*PerfBench, error) {
 			return nil, cli.Input(fmt.Errorf("bench baseline %s: duplicate design %q", path, r.Design))
 		}
 		seen[r.Design] = true
-		if r.Speedup < 0 || r.TreeNs < 0 || r.CompiledNs < 0 {
+		if r.Speedup < 0 || r.TreeNs < 0 || r.CompiledNs < 0 || r.GenNs < 0 {
 			return nil, cli.Input(fmt.Errorf("bench baseline %s: design %q has negative measurements", path, r.Design))
 		}
 	}
@@ -183,8 +234,10 @@ func LoadBaseline(path string) (*PerfBench, error) {
 // Compare checks a fresh measurement against a committed baseline and
 // returns human-readable violations (empty means the run is acceptable).
 // Only machine-independent quantities are compared: simulated cycles and
-// end time must match exactly when the workloads match, and the
-// compiled/tree speedup must not fall below baseline*(1-tol).
+// end time must match exactly when the workloads match, and the speedup
+// ratios must not fall below baseline*(1-tol). Gen-tier comparisons run
+// only when the baseline has gen measurements, so pre-gen baselines stay
+// usable.
 func (b *PerfBench) Compare(baseline *PerfBench, tol float64) []string {
 	var violations []string
 	byDesign := make(map[string]PerfBenchRow, len(b.Rows))
@@ -210,6 +263,22 @@ func (b *PerfBench) Compare(baseline *PerfBench, tol float64) []string {
 				"%s: compiled/tree speedup %.2fx below %.2fx (baseline %.2fx - %.0f%% tolerance)",
 				base.Design, cur.Speedup, floor, base.Speedup, 100*tol))
 		}
+		if base.GenNs > 0 {
+			genFloor := base.SpeedupVsComp * (1 - tol)
+			if cur.SpeedupVsComp < genFloor {
+				violations = append(violations, fmt.Sprintf(
+					"%s: gen/compiled speedup %.2fx below %.2fx (baseline %.2fx - %.0f%% tolerance)",
+					base.Design, cur.SpeedupVsComp, genFloor, base.SpeedupVsComp, 100*tol))
+			}
+			if base.GenAllocs > 0 {
+				ceil := float64(base.GenAllocs) * (1 + tol)
+				if float64(cur.GenAllocs) > ceil {
+					violations = append(violations, fmt.Sprintf(
+						"%s: gen-engine allocations %d above %.0f (baseline %d + %.0f%% tolerance)",
+						base.Design, cur.GenAllocs, ceil, base.GenAllocs, 100*tol))
+				}
+			}
+		}
 		if base.CompiledAllocs > 0 {
 			ceil := float64(base.CompiledAllocs) * (1 + tol)
 			if float64(cur.CompiledAllocs) > ceil {
@@ -226,13 +295,14 @@ func (b *PerfBench) Compare(baseline *PerfBench, tol float64) []string {
 func (b *PerfBench) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "engine benchmark (timed TLM, %d frames, min of %d reps)\n", b.Frames, b.Reps)
-	fmt.Fprintf(&sb, "%-6s %14s %12s %12s %8s %12s %12s %7s\n",
-		"design", "sim cycles", "tree ms", "compiled ms", "speedup", "tree allocs", "comp allocs", "ratio")
+	fmt.Fprintf(&sb, "%-10s %14s %11s %11s %11s %9s %9s %12s %12s %12s\n",
+		"design", "sim cycles", "tree ms", "comp ms", "gen ms", "c/t", "g/c", "tree allocs", "comp allocs", "gen allocs")
 	for _, r := range b.Rows {
-		fmt.Fprintf(&sb, "%-6s %14d %12.3f %12.3f %7.2fx %12d %12d %6.1fx\n",
+		fmt.Fprintf(&sb, "%-10s %14d %11.3f %11.3f %11.3f %8.2fx %8.2fx %12d %12d %12d\n",
 			r.Design, r.SimCycles,
-			float64(r.TreeNs)/1e6, float64(r.CompiledNs)/1e6, r.Speedup,
-			r.TreeAllocs, r.CompiledAllocs, r.AllocRatio)
+			float64(r.TreeNs)/1e6, float64(r.CompiledNs)/1e6, float64(r.GenNs)/1e6,
+			r.Speedup, r.SpeedupVsComp,
+			r.TreeAllocs, r.CompiledAllocs, r.GenAllocs)
 	}
 	return sb.String()
 }

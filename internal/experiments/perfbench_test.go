@@ -89,3 +89,43 @@ func TestCompareClassification(t *testing.T) {
 		t.Fatalf("missing-design run not flagged: %v", v)
 	}
 }
+
+// A baseline recorded before the generated tier existed (no gen fields,
+// no JPEG rows) must still load and compare cleanly against a current
+// three-engine measurement — only a different design set is an input
+// error.
+func TestPreGenBaselineTolerated(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "pre_gen.json")
+	const preGen = `{"frames":2,"reps":5,"rows":[
+		{"design":"SW","sim_cycles":100,"end_ps":1000,"tree_ns":50,"compiled_ns":10,"speedup":5.0},
+		{"design":"SW+1","sim_cycles":90,"end_ps":900,"tree_ns":45,"compiled_ns":10,"speedup":4.5}]}`
+	if err := os.WriteFile(p, []byte(preGen), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadBaseline(p)
+	if err != nil {
+		t.Fatalf("pre-gen baseline rejected: %v", err)
+	}
+	cur := &PerfBench{Frames: 2, Rows: []PerfBenchRow{
+		{Design: "SW", SimCycles: 100, EndPs: 1000, Speedup: 5.0,
+			GenNs: 2, GenAllocs: 10, SpeedupVsComp: 5.0},
+		{Design: "SW+1", SimCycles: 90, EndPs: 900, Speedup: 4.5,
+			GenNs: 2, GenAllocs: 10, SpeedupVsComp: 5.0},
+		{Design: "jpeg-SW", SimCycles: 10, EndPs: 100, Speedup: 2.0,
+			GenNs: 2, GenAllocs: 10, SpeedupVsComp: 3.0},
+	}}
+	if v := cur.Compare(base, 0.30); len(v) != 0 {
+		t.Fatalf("pre-gen baseline produced violations: %v", v)
+	}
+	// A JPEG row in a modern baseline is part of the known design set.
+	pj := filepath.Join(dir, "jpeg.json")
+	const withJPEG = `{"frames":2,"reps":5,"rows":[
+		{"design":"jpeg-SW","sim_cycles":10,"end_ps":100,"tree_ns":50,"compiled_ns":10,"gen_ns":2,"speedup":5.0,"speedup_vs_compiled":5.0}]}`
+	if err := os.WriteFile(pj, []byte(withJPEG), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(pj); err != nil {
+		t.Fatalf("baseline with JPEG rows rejected: %v", err)
+	}
+}

@@ -5,19 +5,25 @@ import (
 	"fmt"
 
 	"ese/internal/cdfg"
+	"ese/internal/diag"
 )
 
 // EngineKind selects the execution engine behind a TLM process.
 type EngineKind int
 
 const (
-	// EngineAuto compiles the program and falls back to the tree-walker
-	// when compilation rejects it — the default.
+	// EngineAuto picks the fastest tier that covers the program: the
+	// ahead-of-time generated engine when one is registered for the
+	// program's code fingerprint, else the flat compiled engine, else the
+	// tree-walker — the default.
 	EngineAuto EngineKind = iota
 	// EngineCompiled requires the flat compiled engine.
 	EngineCompiled
 	// EngineTree forces the tree-walking reference interpreter.
 	EngineTree
+	// EngineGen requires an ahead-of-time generated engine (emitted by
+	// esegen and registered by fingerprint).
+	EngineGen
 )
 
 func (k EngineKind) String() string {
@@ -28,6 +34,8 @@ func (k EngineKind) String() string {
 		return "compiled"
 	case EngineTree:
 		return "tree"
+	case EngineGen:
+		return "gen"
 	}
 	return fmt.Sprintf("engine(%d)", int(k))
 }
@@ -37,12 +45,14 @@ func ParseEngineKind(s string) (EngineKind, error) {
 	switch s {
 	case "", "auto":
 		return EngineAuto, nil
+	case "gen":
+		return EngineGen, nil
 	case "compiled":
 		return EngineCompiled, nil
 	case "tree":
 		return EngineTree, nil
 	}
-	return EngineAuto, fmt.Errorf("unknown execution engine %q (want auto, compiled or tree)", s)
+	return EngineAuto, fmt.Errorf("unknown execution engine %q (want auto, gen, compiled or tree)", s)
 }
 
 // Engine is the execution surface the TLM layer drives: run an entry
@@ -83,11 +93,20 @@ type Engine interface {
 	TakePending() float64
 }
 
-// NewEngine builds an execution engine for prog. EngineAuto compiles with
-// CompileCached and silently falls back to the tree-walker when the program
-// uses IR shapes the compiler rejects; EngineCompiled surfaces the
-// compilation error instead.
+// NewEngine builds an execution engine for prog. EngineAuto prefers the
+// registered generated engine, then the compiled engine, and silently
+// falls back to the tree-walker when the program uses IR shapes the
+// compiler rejects; EngineCompiled and EngineGen surface the failure
+// instead.
 func NewEngine(prog *cdfg.Program, kind EngineKind) (Engine, error) {
+	return NewEngineDiag(prog, kind, nil)
+}
+
+// NewEngineDiag is NewEngine with a diagnostic sink: the auto tier's
+// fallback from the compiled engine to the tree-walker emits an Info
+// notice naming the rejected IR shape instead of failing (or staying
+// silent), so a slow run is explainable. A nil list discards the notice.
+func NewEngineDiag(prog *cdfg.Program, kind EngineKind, diags *diag.List) (Engine, error) {
 	switch kind {
 	case EngineTree:
 		return newTreeEngine(prog), nil
@@ -97,9 +116,19 @@ func NewEngine(prog *cdfg.Program, kind EngineKind) (Engine, error) {
 			return nil, err
 		}
 		return NewCompiled(cp), nil
+	case EngineGen:
+		if f := GeneratedFor(prog); f != nil {
+			return f(prog), nil
+		}
+		return nil, fmt.Errorf("interp: no generated engine registered for this program (regenerate with `esegen -registry`, or use -exec=auto)")
 	default:
+		if f := GeneratedFor(prog); f != nil {
+			return f(prog), nil
+		}
 		cp, err := CompileCached(prog)
 		if err != nil {
+			diags.Infof(diag.StageSimulate, "",
+				"execution engine: program rejected by the compiled tier (%v); falling back to the tree-walker", err)
 			return newTreeEngine(prog), nil
 		}
 		return NewCompiled(cp), nil

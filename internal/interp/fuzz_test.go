@@ -7,6 +7,7 @@ import (
 
 	"ese/internal/cdfg"
 	"ese/internal/cfront"
+	"ese/internal/codegen"
 )
 
 // FuzzEngines feeds fuzzed source through the front end and, whenever it
@@ -14,6 +15,14 @@ import (
 // agree on the out stream, step count, block counts and error text. The
 // step limit keeps fuzzed infinite loops bounded; limit trips must also
 // agree (same ErrLimit at the same step).
+//
+// The ahead-of-time codegen tier is covered structurally: it must accept
+// exactly the programs the compiled engine accepts, and its emitted Go
+// source must always gofmt-parse (EngineSource runs the output through
+// go/format). Fuzzed programs are not in the generated registry, so the
+// generated engine itself cannot execute them here; the full three-way
+// behavioral differential runs on the registered corpus in
+// internal/codegen/registry.
 func FuzzEngines(f *testing.F) {
 	for _, src := range diffPrograms {
 		f.Add(src)
@@ -43,6 +52,12 @@ func FuzzEngines(f *testing.F) {
 			// Front-end output should always compile; a rejection here is a
 			// compiler coverage bug worth surfacing.
 			t.Fatalf("front-end program rejected by Compile: %v\nsource:\n%s", err, src)
+		}
+		if err := codegen.Validate(prog); err != nil {
+			t.Fatalf("compiled engine accepts but codegen rejects: %v\nsource:\n%s", err, src)
+		}
+		if _, err := codegen.EngineSource(prog, "registry", "Fuzz"); err != nil {
+			t.Fatalf("codegen emitted unparsable Go: %v\nsource:\n%s", err, src)
 		}
 		const limit = 200_000
 		run := func(e Engine) error {

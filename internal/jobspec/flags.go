@@ -15,7 +15,7 @@ import (
 // BindRun registers the execution flags every command shares: -exec and
 // -timeout.
 func (s *Spec) BindRun(fs *flag.FlagSet) {
-	fs.StringVar(&s.Exec, "exec", s.Exec, "IR execution engine: auto | compiled | tree")
+	fs.StringVar(&s.Exec, "exec", s.Exec, "IR execution engine: auto | gen | compiled | tree")
 	fs.DurationVar((*time.Duration)(&s.Timeout), "timeout", time.Duration(s.Timeout),
 		"wall-clock watchdog for the run (0 = none)")
 }

@@ -194,8 +194,8 @@ type Spec struct {
 	ICache int `json:"icache"`
 	DCache int `json:"dcache"`
 
-	// Exec selects the IR execution engine: auto (default), compiled or
-	// tree.
+	// Exec selects the IR execution engine: auto (default), gen (the
+	// pre-generated ahead-of-time tier), compiled or tree.
 	Exec string `json:"exec,omitempty"`
 	// Strict fails the job when the PE model does not map an op class
 	// the program uses, instead of degrading to fallback latencies.

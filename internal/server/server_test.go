@@ -56,6 +56,10 @@ func slowTLMSpec() *jobspec.Spec {
 	s := jobspec.DefaultTLM()
 	s.Frames = 40
 	s.Calibrate = false
+	// Pin the tree-walking engine: these tests need a wide in-flight
+	// window to observe/cancel the job, and the generated tier finishes
+	// this workload in milliseconds.
+	s.Exec = "tree"
 	return &s
 }
 

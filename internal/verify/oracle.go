@@ -54,13 +54,14 @@ func mismatch(ds []diag.Diagnostic, pos, format string, args ...any) []diag.Diag
 }
 
 // DiffDesign runs one design's timed TLM under the tree-walking and the
-// compiled execution engines and its cycle-accurate board simulation
-// (processor PEs execute ISS-generated ISA code there), and cross-checks
-// the three:
+// compiled execution engines — and under the ahead-of-time generated
+// engine when one is registered for the program — and its cycle-accurate
+// board simulation (processor PEs execute ISS-generated ISA code there),
+// and cross-checks them:
 //
-//   - tree vs compiled must agree exactly on every observable: per-PE Out
-//     streams, total dynamic steps, per-PE cycle totals, simulated end
-//     time and bus words;
+//   - tree vs compiled (and tree vs gen) must agree exactly on every
+//     observable: per-PE Out streams, total dynamic steps, per-PE cycle
+//     totals, simulated end time and bus words;
 //   - the board's per-PE Out streams must match the TLM's bit for bit
 //     (the functional differential against the reference ISA path);
 //   - per-PE board cycle totals must be positive wherever the TLM charged
@@ -83,29 +84,39 @@ func DiffDesign(d *platform.Design) []diag.Diagnostic {
 	if err != nil {
 		return mismatch(ds, d.Name, "tree engine failed: %v", err)
 	}
+	compare := func(tier string, rc *tlm.Result) {
+		for _, pe := range d.PEs {
+			if !slices.Equal(rt.OutByPE[pe.Name], rc.OutByPE[pe.Name]) {
+				ds = mismatch(ds, d.Name+"/"+pe.Name, "Out stream diverges between tree and %s engines", tier)
+			}
+		}
+		if rt.Steps != rc.Steps {
+			ds = mismatch(ds, d.Name, "Steps diverge: tree %d, %s %d", rt.Steps, tier, rc.Steps)
+		}
+		for _, pe := range d.PEs {
+			if rt.CyclesByPE[pe.Name] != rc.CyclesByPE[pe.Name] {
+				ds = mismatch(ds, d.Name+"/"+pe.Name, "cycle totals diverge: tree %d, %s %d",
+					rt.CyclesByPE[pe.Name], tier, rc.CyclesByPE[pe.Name])
+			}
+		}
+		if rt.EndPs != rc.EndPs {
+			ds = mismatch(ds, d.Name, "EndPs diverges: tree %d, %s %d", rt.EndPs, tier, rc.EndPs)
+		}
+		if rt.BusWords != rc.BusWords {
+			ds = mismatch(ds, d.Name, "BusWords diverge: tree %d, %s %d", rt.BusWords, tier, rc.BusWords)
+		}
+	}
 	rc, err := run(interp.EngineCompiled)
 	if err != nil {
 		return mismatch(ds, d.Name, "compiled engine failed: %v", err)
 	}
-	for _, pe := range d.PEs {
-		if !slices.Equal(rt.OutByPE[pe.Name], rc.OutByPE[pe.Name]) {
-			ds = mismatch(ds, d.Name+"/"+pe.Name, "Out stream diverges between tree and compiled engines")
+	compare("compiled", rc)
+	if interp.GeneratedFor(d.Program) != nil {
+		rg, err := run(interp.EngineGen)
+		if err != nil {
+			return mismatch(ds, d.Name, "generated engine failed: %v", err)
 		}
-	}
-	if rt.Steps != rc.Steps {
-		ds = mismatch(ds, d.Name, "Steps diverge: tree %d, compiled %d", rt.Steps, rc.Steps)
-	}
-	for _, pe := range d.PEs {
-		if rt.CyclesByPE[pe.Name] != rc.CyclesByPE[pe.Name] {
-			ds = mismatch(ds, d.Name+"/"+pe.Name, "cycle totals diverge: tree %d, compiled %d",
-				rt.CyclesByPE[pe.Name], rc.CyclesByPE[pe.Name])
-		}
-	}
-	if rt.EndPs != rc.EndPs {
-		ds = mismatch(ds, d.Name, "EndPs diverges: tree %d, compiled %d", rt.EndPs, rc.EndPs)
-	}
-	if rt.BusWords != rc.BusWords {
-		ds = mismatch(ds, d.Name, "BusWords diverge: tree %d, compiled %d", rt.BusWords, rc.BusWords)
+		compare("gen", rg)
 	}
 	board, err := rtl.RunBoard(d, 0)
 	if err != nil {
