@@ -21,10 +21,16 @@
 //	              the duration of the run
 //
 // Exit codes: 0 success, 1 runtime failure (including timeout), 2 usage or
-// input error. For -bench-compare specifically: 0 within tolerance, 1 a
-// genuine benchmark regression, 2 a baseline that is missing, truncated,
-// or from a different design set. Diagnostics go to stderr, results to
-// stdout.
+// input error. For -bench-compare and -accuracy-compare specifically: 0
+// within tolerance, 1 a genuine regression, 2 a baseline that is missing,
+// truncated, or from a different design set/matrix. Diagnostics go to
+// stderr, results to stdout.
+//
+// The accuracy scoreboard (-accuracy FILE, -accuracy-compare FILE,
+// -accuracy-tolerance PTS) calibrates the statistical PUM models per
+// training set and scores the timed TLM against the cycle-accurate board
+// over the application × design × cache matrix — MAPE and Pearson r per
+// row, cross-validation rows included (see internal/calib).
 package main
 
 import (
@@ -38,8 +44,10 @@ import (
 
 	"ese"
 	"ese/internal/apps"
+	"ese/internal/calib"
 	"ese/internal/cli"
 	"ese/internal/dse"
+	"ese/internal/engine"
 	"ese/internal/experiments"
 	"ese/internal/jobspec"
 	"ese/internal/pum"
@@ -64,6 +72,9 @@ func main() {
 	benchCompare := flag.String("bench-compare", "", "measure the engine perf trajectory and compare it against the baseline JSON in FILE")
 	benchReps := flag.Int("bench-reps", 5, "repetitions per design for -bench-json/-bench-compare (min is recorded)")
 	benchTol := flag.Float64("bench-tolerance", 0.30, "allowed relative speedup regression for -bench-compare")
+	accJSON := flag.String("accuracy", "", "run the calibration accuracy scoreboard and write it as JSON to FILE (\"-\" = stdout)")
+	accCompare := flag.String("accuracy-compare", "", "run the accuracy scoreboard and compare it against the baseline JSON in FILE")
+	accTol := flag.Float64("accuracy-tolerance", 1.0, "allowed per-row MAPE drift in percentage points for -accuracy-compare")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -88,7 +99,15 @@ func main() {
 	cli.Fail("esebench", run(&spec, *table, *ablation, *all, *jsonOut, *showMetrics, benchCfg{
 		json: *benchJSON, compare: *benchCompare,
 		reps: *benchReps, tol: *benchTol,
+	}, accCfg{
+		json: *accJSON, compare: *accCompare, tol: *accTol,
 	}))
+}
+
+// accCfg bundles the accuracy-scoreboard flag values.
+type accCfg struct {
+	json, compare string
+	tol           float64
 }
 
 // benchCfg bundles the engine-benchmark flag values.
@@ -98,13 +117,18 @@ type benchCfg struct {
 	tol           float64
 }
 
-func run(spec *jobspec.Spec, table int, ablation string, all, jsonOut, showMetrics bool, bench benchCfg) error {
+func run(spec *jobspec.Spec, table int, ablation string, all, jsonOut, showMetrics bool, bench benchCfg, acc accCfg) error {
 	if err := spec.Validate(); err != nil {
 		return cli.Input(err)
 	}
 	opts, err := spec.Options()
 	if err != nil {
 		return cli.Input(err)
+	}
+	if acc.json != "" || acc.compare != "" {
+		// The scoreboard performs its own per-training-set calibrations;
+		// the shared MP3-only setup below would be redundant work.
+		return runAccuracy(spec.Frames, opts, acc)
 	}
 	eval := apps.MP3Config{Frames: spec.Frames, Seed: apps.DefaultMP3.Seed}
 	if !jsonOut {
@@ -247,6 +271,46 @@ func runDSE(path string, jsonOut bool) error {
 	fmt.Printf("design-space sweep: %d points, %d on the Pareto front, cache hit rate %.1f%%\n",
 		s.Points, len(res.Pareto), 100*s.CacheHitRate)
 	return dse.WriteCSV(os.Stdout, res.Pareto)
+}
+
+// runAccuracy runs the calibration accuracy scoreboard and either records
+// it (-accuracy) or checks it against a committed baseline
+// (-accuracy-compare).
+func runAccuracy(frames int, opts engine.Options, acc accCfg) error {
+	cur, err := calib.RunScoreboard(calib.Options{Frames: frames, Engine: opts})
+	if err != nil {
+		return err
+	}
+	fmt.Print(cur)
+	if acc.json != "" {
+		data, err := cur.ToJSON()
+		if err != nil {
+			return err
+		}
+		if acc.json == "-" {
+			fmt.Print(string(data))
+		} else if err := os.WriteFile(acc.json, data, 0o644); err != nil {
+			return err
+		} else {
+			fmt.Printf("wrote accuracy scoreboard to %s\n", acc.json)
+		}
+	}
+	if acc.compare != "" {
+		// A missing, truncated or wrong-matrix baseline is an input error
+		// (exit 2); only genuine accuracy drift exits 1.
+		base, err := calib.LoadScoreboard(acc.compare)
+		if err != nil {
+			return err
+		}
+		if violations := cur.Compare(base, acc.tol); len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "esebench: accuracy regression: %s\n", v)
+			}
+			return fmt.Errorf("%d accuracy regression(s) against %s", len(violations), acc.compare)
+		}
+		fmt.Printf("accuracy within tolerance of %s (%.2f pt MAPE drift)\n", acc.compare, acc.tol)
+	}
+	return nil
 }
 
 // runBench measures the engine perf trajectory and either records it

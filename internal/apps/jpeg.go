@@ -14,8 +14,16 @@ type JPEGConfig struct {
 	Seed   uint32 // image generator seed
 }
 
-// DefaultJPEG is the standard encoder workload.
-var DefaultJPEG = JPEGConfig{Blocks: 24, Seed: 0xBEEF}
+// DefaultJPEG is the standard encoder workload; TrainJPEG is the distinct
+// (smaller) training workload used to calibrate statistical PUM models, so
+// evaluation never scores on its own training input.
+var (
+	DefaultJPEG = JPEGConfig{Blocks: 24, Seed: 0xBEEF}
+	TrainJPEG   = JPEGConfig{Blocks: 8, Seed: 0x7E57}
+)
+
+// JPEGDesignNames lists the JPEG mappings in order.
+var JPEGDesignNames = []string{"SW", "SW+DCT"}
 
 // JPEG channel ids (DCT hardware offload design).
 const (

@@ -58,7 +58,7 @@ var perfBenchCacheCfg = pum.CacheCfg{ISize: 8 * 1024, DSize: 4 * 1024}
 
 // perfBenchJPEGDesigns are the JPEG rows appended after the MP3 designs;
 // their row names carry the "jpeg-" prefix to stay distinct.
-var perfBenchJPEGDesigns = []string{"SW", "SW+DCT"}
+var perfBenchJPEGDesigns = apps.JPEGDesignNames
 
 // perfBenchDesigns builds the benchmarked design list: the four MP3
 // mappings followed by the two JPEG mappings, with the JPEG workload

@@ -37,6 +37,10 @@ const (
 	// KindTLM builds one of the built-in mapped designs and simulates
 	// its transaction-level model (the esetlm flow).
 	KindTLM = "tlm"
+	// KindCalibrate fits the statistical memory and branch models on one
+	// or more training programs and returns the calibrated PUM with its
+	// per-config provenance (the internal/calib flow).
+	KindCalibrate = "calibrate"
 )
 
 // TLM engines a KindTLM job may request.
@@ -188,6 +192,10 @@ type Spec struct {
 	// default is true, so an omitted false would be undone by the decoder's
 	// defaults (and silently change the fingerprint).
 	Calibrate bool `json:"calibrate"`
+	// Train names the training set of a calibration job: one application
+	// ("mp3", "jpeg") or several joined with "+" ("mp3+jpeg", the default;
+	// the statistics are averaged across programs).
+	Train string `json:"train,omitempty"`
 
 	// ICache / DCache select the cache configuration in bytes (0 =
 	// uncached).
@@ -251,6 +259,40 @@ func DefaultTLM() Spec {
 	s.Calibrate = true
 	s.Model = Model{}
 	return s
+}
+
+// DefaultTrain is the training set a calibration job uses when none is
+// named: both example applications, merged.
+const DefaultTrain = AppMP3 + "+" + AppJPEG
+
+// DefaultCalibrate returns a calibration Spec with the standard training
+// set.
+func DefaultCalibrate() Spec {
+	s := Default()
+	s.Kind = KindCalibrate
+	s.Model = Model{}
+	s.Train = DefaultTrain
+	return s
+}
+
+// ValidateTrain checks a calibration training-set label: "+"-joined
+// application names, each known and none repeated.
+func ValidateTrain(label string) error {
+	if label == "" {
+		return fmt.Errorf("jobspec: empty training set")
+	}
+	seen := make(map[string]bool)
+	for _, name := range strings.Split(label, "+") {
+		if name != AppMP3 && name != AppJPEG {
+			return fmt.Errorf("jobspec: unknown training app %q in %q (want %s or %s)",
+				name, label, AppMP3, AppJPEG)
+		}
+		if seen[name] {
+			return fmt.Errorf("jobspec: training app %q repeated in %q", name, label)
+		}
+		seen[name] = true
+	}
+	return nil
 }
 
 // Duration is a time.Duration that marshals as a Go duration string
@@ -339,8 +381,16 @@ func (s *Spec) Validate() error {
 		if err := s.Tune.validate(); err != nil {
 			return err
 		}
+	case KindCalibrate:
+		train := s.Train
+		if train == "" {
+			train = DefaultTrain
+		}
+		if err := ValidateTrain(train); err != nil {
+			return err
+		}
 	default:
-		return fmt.Errorf("jobspec: unknown job kind %q (want %s or %s)", s.Kind, KindEstimate, KindTLM)
+		return fmt.Errorf("jobspec: unknown job kind %q (want %s, %s or %s)", s.Kind, KindEstimate, KindTLM, KindCalibrate)
 	}
 	if s.ICache < 0 || s.DCache < 0 {
 		return fmt.Errorf("jobspec: negative cache size %d/%d", s.ICache, s.DCache)
@@ -374,8 +424,11 @@ func ParseJSON(data []byte) (*Spec, error) {
 	if err := json.Unmarshal(data, &probe); err != nil {
 		return nil, fmt.Errorf("jobspec: %w", err)
 	}
-	if probe.Kind == KindTLM {
+	switch probe.Kind {
+	case KindTLM:
 		s = DefaultTLM()
+	case KindCalibrate:
+		s = DefaultCalibrate()
 	}
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
@@ -429,6 +482,7 @@ func (s *Spec) Normalized() Spec {
 		n.Frames, n.Seed = 0, 0
 		n.Calibrate = false
 		n.Tune = nil
+		n.Train = ""
 	case KindTLM:
 		if n.App == "" {
 			n.App = AppMP3
@@ -445,6 +499,19 @@ func (s *Spec) Normalized() Spec {
 		// Estimation-only fields are inert on a TLM job.
 		n.Source, n.Model = Source{}, Model{}
 		n.Entry, n.Steps = "", 0
+		n.Train = ""
+	case KindCalibrate:
+		if n.Train == "" {
+			n.Train = DefaultTrain
+		}
+		// Only the training set and the step bound shape a calibration job.
+		n.Source, n.Model = Source{}, Model{}
+		n.App, n.Design, n.Engine, n.Entry = "", "", "", ""
+		n.Frames, n.Seed = 0, 0
+		n.Calibrate = false
+		n.Tune = nil
+		n.ICache, n.DCache = 0, 0
+		n.Profile, n.Top = false, 0
 	}
 	return n
 }

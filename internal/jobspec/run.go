@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"ese/internal/calib"
 	"ese/internal/cdfg"
 	"ese/internal/core"
 	"ese/internal/diag"
@@ -96,6 +97,26 @@ type TLMSummary struct {
 	WallNs       int64              `json:"wall_ns"`
 }
 
+// CalibEntry is the JSON form of one calibration provenance record: which
+// training program produced the statistics of one cache configuration.
+type CalibEntry struct {
+	ISize      int     `json:"isize"`
+	DSize      int     `json:"dsize"`
+	Train      string  `json:"train"`
+	Steps      uint64  `json:"steps"`
+	BranchMiss float64 `json:"branch_miss"`
+}
+
+// CalibSummary is the JSON form of one calibration outcome: the calibrated
+// PUM description plus its provenance.
+type CalibSummary struct {
+	Train      string          `json:"train"`
+	BranchMiss float64         `json:"branch_miss"`
+	Configs    int             `json:"configs"`
+	Provenance []CalibEntry    `json:"provenance"`
+	Model      json.RawMessage `json:"model"`
+}
+
 // Result is the JSON response body of one executed job. On failure the
 // Runner still returns a partial Result carrying the collected
 // diagnostics next to the error.
@@ -110,6 +131,8 @@ type Result struct {
 	Blocks []BlockEstimate `json:"blocks,omitempty"`
 	// TLM is the simulation outcome (TLM jobs).
 	TLM *TLMSummary `json:"tlm,omitempty"`
+	// Calib is the calibration outcome (calibration jobs).
+	Calib *CalibSummary `json:"calib,omitempty"`
 	// Profile is the cycle-attribution report (when Spec.Profile is set).
 	Profile json.RawMessage `json:"profile,omitempty"`
 	// Diagnostics are the pipeline's structured diagnostics, rendered.
@@ -161,6 +184,8 @@ func (r *Runner) RunWith(ctx context.Context, s *Spec, ro RunOpts) (res *Result,
 		err = r.runEstimate(ctx, s, pl, res)
 	case KindTLM:
 		err = r.runTLM(ctx, s, pl, res)
+	case KindCalibrate:
+		err = r.runCalibrate(ctx, s, res)
 	default:
 		err = fmt.Errorf("jobspec: unknown job kind %q", s.Kind)
 	}
@@ -300,6 +325,45 @@ func (r *Runner) runTLM(ctx context.Context, s *Spec, pl *engine.Pipeline, res *
 	if s.Profile {
 		return r.profileTLM(ctx, s, pl, d, tr, res)
 	}
+	return nil
+}
+
+// runCalibrate is the internal/calib flow: profile the training set on
+// the cycle-accurate processor model and return the calibrated PUM with
+// its provenance. Steps bounds each profiling run (0 = none).
+func (r *Runner) runCalibrate(ctx context.Context, s *Spec, res *Result) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	train := s.Train
+	if train == "" {
+		train = DefaultTrain
+	}
+	ts, err := calib.Trainings(train)
+	if err != nil {
+		return err
+	}
+	model, _, err := calib.Calibrate(pum.MicroBlaze(), ts, pum.StandardCacheConfigs, s.Steps)
+	if err != nil {
+		return err
+	}
+	data, err := model.ToJSON()
+	if err != nil {
+		return err
+	}
+	sum := &CalibSummary{
+		Train:      train,
+		BranchMiss: model.Branch.MissRate,
+		Configs:    len(model.Configs()),
+		Model:      data,
+	}
+	for _, cs := range model.Calib {
+		sum.Provenance = append(sum.Provenance, CalibEntry{
+			ISize: cs.Cfg.ISize, DSize: cs.Cfg.DSize,
+			Train: cs.Train, Steps: cs.Steps, BranchMiss: cs.BranchMiss,
+		})
+	}
+	res.Calib = sum
 	return nil
 }
 

@@ -21,6 +21,15 @@ type jsonPUM struct {
 	Ops       map[string]jsonOpInfo `json:"ops"`
 	Branch    jsonBranch            `json:"branch"`
 	Mem       jsonMem               `json:"mem"`
+	Calib     []jsonCalibSource     `json:"calib,omitempty"`
+}
+
+type jsonCalibSource struct {
+	ISize      int     `json:"isize"`
+	DSize      int     `json:"dsize"`
+	Train      string  `json:"train"`
+	Steps      uint64  `json:"steps"`
+	BranchMiss float64 `json:"branch_miss"`
 }
 
 type jsonPipeline struct {
@@ -115,6 +124,12 @@ func FromJSON(data []byte) (*PUM, error) {
 	for _, e := range j.Mem.Table {
 		p.Mem.Table[CacheCfg{ISize: e.ISize, DSize: e.DSize}] = e.MemStats
 	}
+	for _, c := range j.Calib {
+		p.Calib = append(p.Calib, CalibSource{
+			Cfg:   CacheCfg{ISize: c.ISize, DSize: c.DSize},
+			Train: c.Train, Steps: c.Steps, BranchMiss: c.BranchMiss,
+		})
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -156,6 +171,12 @@ func (p *PUM) ToJSON() ([]byte, error) {
 	for _, cfg := range p.Configs() {
 		j.Mem.Table = append(j.Mem.Table, jsonMemEntry{
 			ISize: cfg.ISize, DSize: cfg.DSize, MemStats: p.Mem.Table[cfg],
+		})
+	}
+	for _, c := range p.Calib {
+		j.Calib = append(j.Calib, jsonCalibSource{
+			ISize: c.Cfg.ISize, DSize: c.Cfg.DSize,
+			Train: c.Train, Steps: c.Steps, BranchMiss: c.BranchMiss,
 		})
 	}
 	return json.MarshalIndent(&j, "", "  ")

@@ -123,6 +123,19 @@ type MemStats struct {
 	DMissPenalty float64 // extra cycles per operand on a d-cache miss
 }
 
+// CalibSource records where one calibrated memory-table entry came from:
+// the training program it was profiled on, the dynamic instruction count of
+// that run, and the branch misprediction ratio observed under the same
+// configuration. It is provenance, not behavior — DatapathFingerprint and
+// StatFingerprint deliberately ignore it, so a recalibration that lands on
+// identical statistics still hits the schedule/estimate caches.
+type CalibSource struct {
+	Cfg        CacheCfg
+	Train      string  // training program label
+	Steps      uint64  // dynamic instructions profiled
+	BranchMiss float64 // misprediction ratio observed under Cfg
+}
+
 // MemModel is the statistical memory model: per-configuration statistics
 // plus the current selection.
 type MemModel struct {
@@ -148,6 +161,11 @@ type PUM struct {
 	Ops       map[cdfg.Class]OpInfo
 	Branch    BranchModel
 	Mem       MemModel
+	// Calib is the calibration provenance of the statistical sub-models:
+	// one entry per (cache configuration, training program) pair that
+	// contributed to Mem.Table and Branch.MissRate. Empty means the
+	// statistics are nominal (library defaults or hand-written JSON).
+	Calib []CalibSource
 }
 
 // Clone returns a deep copy, so callers can vary cache configs or rates
@@ -168,6 +186,7 @@ func (p *PUM) Clone() *PUM {
 	for k, v := range p.Mem.Table {
 		q.Mem.Table[k] = v
 	}
+	q.Calib = append([]CalibSource(nil), p.Calib...)
 	return &q
 }
 
@@ -304,6 +323,15 @@ func validRate(r float64) bool { return r >= 0 && r <= 1 }
 // validDelay reports whether a latency/penalty value is finite and
 // non-negative.
 func validDelay(v float64) bool { return v >= 0 && !math.IsInf(v, 1) }
+
+// Validate checks one statistical memory model entry in isolation — the
+// check calibration applies to every profiled snapshot before it enters a
+// model's table, so a degenerate training run (no branches, no data
+// accesses, disabled caches) can never smuggle a NaN or out-of-range rate
+// into estimation.
+func (st MemStats) Validate() error {
+	return st.validate("stats", "snapshot")
+}
 
 // validate checks one statistical memory model entry.
 func (st MemStats) validate(name, where string) error {

@@ -1,12 +1,57 @@
 package rtl
 
 import (
+	"errors"
 	"fmt"
 
 	"ese/internal/cdfg"
 	"ese/internal/iss"
 	"ese/internal/pum"
 )
+
+// ErrUncalibrated reports that a calibration run had no cached cache
+// configuration to profile: every entry of cfgs was the uncached {0,0}
+// geometry, which needs no statistics (every access pays the external
+// latency), so neither the memory table nor the branch misprediction ratio
+// was measured. Returning the base model unchanged in that case used to be
+// silent; callers that meant to calibrate must be told nothing happened.
+var ErrUncalibrated = errors.New("rtl: no cached configuration to calibrate on (statistical models unchanged)")
+
+// CalibStats is one cached configuration's measured statistics: the memory
+// snapshot that enters the PUM table, plus the branch misprediction ratio
+// and dynamic instruction count of the profiling run under that
+// configuration — the per-config provenance of the calibration.
+type CalibStats struct {
+	Cfg        pum.CacheCfg
+	Mem        pum.MemStats
+	BranchMiss float64
+	Steps      uint64
+}
+
+// CalibReport is the provenance of one training run: what was measured per
+// cached configuration, which configurations were skipped as uncached, and
+// the config-independent branch misprediction ratio that entered the model.
+type CalibReport struct {
+	// Train labels the training program. Calibrate sets it to the entry
+	// name; multi-program drivers (internal/calib) overwrite it with the
+	// application label before merging reports.
+	Train string
+	Entry string
+	// Stats holds one entry per cached configuration, in cfgs order.
+	Stats []CalibStats
+	// Uncached lists the configurations skipped because both sides are
+	// absent: every access pays the external latency (see PUM.WithCache),
+	// so there is nothing to measure.
+	Uncached []pum.CacheCfg
+	// BranchMiss is the misprediction ratio recorded into the model. The
+	// branch predictor sees the same retired instruction stream whatever
+	// the caches do, so the ratio is config-independent; Calibrate asserts
+	// that instead of silently taking whichever config came first.
+	BranchMiss float64
+	// Steps is the dynamic instruction count of one profiling run
+	// (identical across configurations, asserted).
+	Steps uint64
+}
 
 // Calibrate profiles a training process on the cycle-accurate processor
 // model for each cache configuration and returns a copy of the base PUM
@@ -16,22 +61,48 @@ import (
 // self-contained process (no channel communication), typically a reduced
 // or representative input; evaluating on different inputs is what makes the
 // statistical model approximate.
+//
+// Configuration semantics:
+//   - {0,0} is uncached: no statistics are needed, the configuration is
+//     skipped (every access pays ExtLatency, see PUM.WithCache). If every
+//     configuration is uncached the call fails with ErrUncalibrated
+//     instead of silently returning an uncalibrated clone.
+//   - Mixed geometry ({0,D} or {I,0}): the absent side pays the external
+//     latency on every access and is recorded with hit rate 0; real
+//     statistics are measured for the present side.
+//
+// Branch model: the misprediction ratio is measured under every cached
+// configuration and asserted identical (the predictor sees the same
+// retired instruction stream whatever the caches do); the common value is
+// recorded, with per-config provenance in the returned PUM's Calib list
+// and in the CalibReport. A divergence means the training program is not
+// self-contained (its instruction stream varied between runs) and is an
+// error, not a silent first-config pick.
 func Calibrate(base *pum.PUM, prog *cdfg.Program, entry string, cfgs []pum.CacheCfg, limit uint64) (*pum.PUM, error) {
+	out, _, err := CalibrateReport(base, prog, entry, cfgs, limit)
+	return out, err
+}
+
+// CalibrateReport is Calibrate returning the per-config provenance next to
+// the calibrated model.
+func CalibrateReport(base *pum.PUM, prog *cdfg.Program, entry string, cfgs []pum.CacheCfg, limit uint64) (*pum.PUM, *CalibReport, error) {
 	isa, err := iss.Generate(prog)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out := base.Clone()
-	branchSet := false
+	out.Calib = nil // recalibration replaces any prior provenance
+	rep := &CalibReport{Train: entry, Entry: entry}
 	for _, cfg := range cfgs {
 		if cfg.ISize == 0 && cfg.DSize == 0 {
 			// The uncached configuration needs no statistics: every access
 			// pays the external latency (see PUM.WithCache).
+			rep.Uncached = append(rep.Uncached, cfg)
 			continue
 		}
 		m := iss.NewMachine(isa)
 		if err := m.Start(entry); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		cpu, err := NewCPU(m, CPUConfig{
 			Model:  base,
@@ -39,16 +110,41 @@ func Calibrate(base *pum.PUM, prog *cdfg.Program, entry string, cfgs []pum.Cache
 			DCache: RealCacheConfig(cfg.DSize),
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if err := cpu.Run(limit); err != nil {
-			return nil, fmt.Errorf("rtl: calibrating %v: %w", cfg, err)
+			return nil, nil, fmt.Errorf("rtl: calibrating %v: %w", cfg, err)
 		}
-		out.Mem.Table[cfg] = cpu.MemStatsSnapshot()
-		if !branchSet {
-			out.Branch.MissRate = cpu.BP.MissRate()
-			branchSet = true
+		st := cpu.MemStatsSnapshot()
+		if err := st.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("rtl: calibrating %v: degenerate statistics: %w", cfg, err)
+		}
+		out.Mem.Table[cfg] = st
+		rep.Stats = append(rep.Stats, CalibStats{
+			Cfg: cfg, Mem: st, BranchMiss: cpu.BP.MissRate(), Steps: cpu.M.Steps,
+		})
+	}
+	if len(rep.Stats) == 0 {
+		return nil, nil, fmt.Errorf("%w: every configuration in %v is uncached", ErrUncalibrated, cfgs)
+	}
+	first := rep.Stats[0]
+	for _, cs := range rep.Stats[1:] {
+		if cs.BranchMiss != first.BranchMiss || cs.Steps != first.Steps {
+			return nil, nil, fmt.Errorf(
+				"rtl: branch calibration is config-dependent (%v: miss %.6f over %d steps, %v: miss %.6f over %d steps) — training entry %q is not self-contained",
+				first.Cfg, first.BranchMiss, first.Steps, cs.Cfg, cs.BranchMiss, cs.Steps, entry)
 		}
 	}
-	return out, nil
+	out.Branch.MissRate = first.BranchMiss
+	rep.BranchMiss = first.BranchMiss
+	rep.Steps = first.Steps
+	for _, cs := range rep.Stats {
+		out.Calib = append(out.Calib, pum.CalibSource{
+			Cfg: cs.Cfg, Train: rep.Train, Steps: cs.Steps, BranchMiss: cs.BranchMiss,
+		})
+	}
+	if err := out.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("rtl: calibrated model invalid: %w", err)
+	}
+	return out, rep, nil
 }

@@ -1,0 +1,149 @@
+package rtl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ese/internal/pum"
+)
+
+// Bugfix regression: calibrating with only uncached configurations used to
+// silently return an uncalibrated clone of the base model; it must fail
+// with ErrUncalibrated so callers know nothing was measured.
+func TestCalibrateAllUncachedIsError(t *testing.T) {
+	prog, _ := generate(t, loopSrc)
+	_, err := Calibrate(pum.MicroBlaze(), prog, "main", []pum.CacheCfg{{ISize: 0, DSize: 0}}, 0)
+	if !errors.Is(err, ErrUncalibrated) {
+		t.Fatalf("want ErrUncalibrated, got %v", err)
+	}
+	_, err = Calibrate(pum.MicroBlaze(), prog, "main", nil, 0)
+	if !errors.Is(err, ErrUncalibrated) {
+		t.Fatalf("empty cfgs: want ErrUncalibrated, got %v", err)
+	}
+}
+
+// Bugfix regression: a mixed geometry must record hit rate 0 for the
+// absent side (every access there pays the external latency on the board)
+// and real statistics for the present side. Pre-fix the absent side was
+// recorded with the idle-cache HitRate default of 1.0, making the
+// estimator charge nothing for a path the board charges ExtLatency on.
+func TestCalibrateMixedGeometry(t *testing.T) {
+	prog, _ := generate(t, loopSrc)
+	cfgs := []pum.CacheCfg{{ISize: 0, DSize: 4096}, {ISize: 4096, DSize: 0}}
+	out, rep, err := CalibrateReport(pum.MicroBlaze(), prog, "main", cfgs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dOnly := out.Mem.Table[cfgs[0]]
+	if dOnly.IHitRate != 0 {
+		t.Errorf("{0,4096}: IHitRate = %v, want 0 (absent side pays external latency)", dOnly.IHitRate)
+	}
+	if dOnly.DHitRate <= 0.5 {
+		t.Errorf("{0,4096}: DHitRate = %v, want measured rate > 0.5", dOnly.DHitRate)
+	}
+	iOnly := out.Mem.Table[cfgs[1]]
+	if iOnly.DHitRate != 0 {
+		t.Errorf("{4096,0}: DHitRate = %v, want 0", iOnly.DHitRate)
+	}
+	if iOnly.IHitRate <= 0.5 {
+		t.Errorf("{4096,0}: IHitRate = %v, want measured rate > 0.5", iOnly.IHitRate)
+	}
+	if len(rep.Stats) != 2 {
+		t.Fatalf("report has %d stats, want 2", len(rep.Stats))
+	}
+}
+
+// Bugfix regression: the branch misprediction ratio is measured under every
+// cached configuration and asserted config-independent; the recorded value
+// and per-config provenance must agree. Pre-fix, whichever cached config
+// came first won silently.
+func TestCalibrateBranchConfigIndependent(t *testing.T) {
+	prog, _ := generate(t, loopSrc)
+	cfgs := []pum.CacheCfg{
+		{ISize: 2048, DSize: 2048},
+		{ISize: 0, DSize: 0},
+		{ISize: 16384, DSize: 16384},
+		{ISize: 0, DSize: 4096},
+	}
+	out, rep, err := CalibrateReport(pum.MicroBlaze(), prog, "main", cfgs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BranchMiss <= 0 || rep.BranchMiss >= 1 {
+		t.Fatalf("branch miss %v outside (0,1)", rep.BranchMiss)
+	}
+	if out.Branch.MissRate != rep.BranchMiss {
+		t.Errorf("model MissRate %v != report %v", out.Branch.MissRate, rep.BranchMiss)
+	}
+	if len(out.Calib) != 3 {
+		t.Fatalf("provenance has %d entries, want 3 (one per cached config)", len(out.Calib))
+	}
+	for _, cs := range out.Calib {
+		if cs.BranchMiss != rep.BranchMiss {
+			t.Errorf("%v: provenance miss %v != common %v", cs.Cfg, cs.BranchMiss, rep.BranchMiss)
+		}
+		if cs.Steps != rep.Steps || cs.Steps == 0 {
+			t.Errorf("%v: steps %d, want common nonzero %d", cs.Cfg, cs.Steps, rep.Steps)
+		}
+		if cs.Train != "main" {
+			t.Errorf("%v: train label %q, want %q", cs.Cfg, cs.Train, "main")
+		}
+	}
+	if len(rep.Uncached) != 1 || rep.Uncached[0] != (pum.CacheCfg{}) {
+		t.Errorf("uncached list %v, want [{0 0}]", rep.Uncached)
+	}
+}
+
+// The config-independence assertion itself: feeding a divergent measurement
+// through the checker must produce the descriptive error, not a silent
+// first-config pick. (Driven through the public API by reusing the same
+// training program — divergence cannot be provoked from outside, which is
+// exactly the property the assertion encodes — so this exercises the
+// degenerate-statistics path instead: a run with no memory accesses on a
+// cached side still validates.)
+func TestCalibrateSnapshotsValidate(t *testing.T) {
+	// A program with no data traffic at all: the d-cache never sees an
+	// access, so its idle HitRate would be the degenerate case.
+	prog, _ := generate(t, `void main() { out(7); }`)
+	out, _, err := CalibrateReport(pum.MicroBlaze(), prog, "main", pum.StandardCacheConfigs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cfg, st := range out.Mem.Table {
+		if err := st.Validate(); err != nil {
+			t.Errorf("%v: %v", cfg, err)
+		}
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Calibrated models round-trip through JSON with their provenance intact.
+func TestCalibrateProvenanceJSONRoundTrip(t *testing.T) {
+	prog, _ := generate(t, loopSrc)
+	out, err := Calibrate(pum.MicroBlaze(), prog, "main", []pum.CacheCfg{{ISize: 4096, DSize: 4096}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := out.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"calib"`) {
+		t.Fatal("serialized PUM lacks calib provenance")
+	}
+	back, err := pum.FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Calib) != len(out.Calib) {
+		t.Fatalf("round-trip provenance %d entries, want %d", len(back.Calib), len(out.Calib))
+	}
+	for i := range back.Calib {
+		if back.Calib[i] != out.Calib[i] {
+			t.Errorf("entry %d: %+v != %+v", i, back.Calib[i], out.Calib[i])
+		}
+	}
+}

@@ -162,14 +162,23 @@ func (c *CPU) Run(limit uint64) error {
 }
 
 // MemStatsSnapshot returns the observed cache statistics in PUM form, the
-// raw material of calibration.
+// raw material of calibration. A disabled cache side (size 0 in a mixed
+// I/D geometry) is reported as hit rate 0: on the board every access on
+// that side pays the external latency, and the statistical model must say
+// the same — the idle-cache HitRate default of 1.0 would make estimation
+// charge nothing for a path the board charges ExtLatency per access.
 func (c *CPU) MemStatsSnapshot() pum.MemStats {
-	return pum.MemStats{
-		IHitRate:     c.IC.HitRate(),
-		DHitRate:     c.DC.HitRate(),
+	st := pum.MemStats{
 		IHitDelay:    0,
 		DHitDelay:    0,
 		IMissPenalty: float64(c.extLat),
 		DMissPenalty: float64(c.extLat),
 	}
+	if c.IC.Enabled() {
+		st.IHitRate = c.IC.HitRate()
+	}
+	if c.DC.Enabled() {
+		st.DHitRate = c.DC.HitRate()
+	}
+	return st
 }
